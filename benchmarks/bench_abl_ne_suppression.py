@@ -1,0 +1,20 @@
+"""ABL-NE — §3.7: NE suppression off / on / rx_loss-aware."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import ablations
+
+
+def test_bench_ne_suppression(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_ne_suppression, kwargs={"scale": max(BENCH_SCALE, 0.25)},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    # suppression does not break the election or fairness
+    for label in ("no-NE", "NE-suppression", "NE-rx-loss-aware"):
+        assert result.metrics[f"{label}:ratio"] < 8.0
+        assert result.metrics[f"{label}:pgm_rate"] > 20_000
+    # and the NEs do absorb part of the NAK stream (within-run counters;
+    # cross-run totals are not comparable — the acker trajectory differs)
+    assert result.metrics["NE-suppression:ne_naks_suppressed"] > 0

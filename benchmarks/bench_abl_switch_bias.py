@@ -1,0 +1,19 @@
+"""ABL-C — §3.5: the switch bias constant c."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import ablations
+
+
+def test_bench_switch_bias(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_switch_bias, kwargs={"scale": max(BENCH_SCALE, 0.25)},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    # biasing toward the incumbent removes unnecessary switches among
+    # equivalent receivers without hurting throughput
+    assert result.metrics["c=0.75:switches"] <= result.metrics["c=1.0:switches"]
+    assert result.metrics["c=0.6:switches"] <= result.metrics["c=1.0:switches"]
+    for c in (1.0, 0.9, 0.75, 0.6):
+        assert result.metrics[f"c={c}:ratio"] < 4.5  # fairness intact

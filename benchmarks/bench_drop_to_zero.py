@@ -1,0 +1,21 @@
+"""EXP-DTZ — demonstrating the drop-to-zero problem pgmcc avoids."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import drop_to_zero
+
+
+def test_bench_drop_to_zero(benchmark):
+    result = benchmark.pedantic(
+        drop_to_zero.run,
+        kwargs={"scale": max(BENCH_SCALE, 0.3), "group_sizes": (1, 10, 40)},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    # naive aggregation collapses as the group grows (the [23] problem)
+    assert result.metrics["eq-naive:collapse"] > 3.0
+    # proper worst-report aggregation and pgmcc are group-size independent
+    assert result.metrics["eq-max:collapse"] < 2.0
+    assert result.metrics["pgmcc:collapse"] < 1.5
+    # and pgmcc holds a healthy rate at the largest group
+    assert result.metrics["pgmcc:rate@40"] > 100_000

@@ -1,0 +1,42 @@
+"""EXP-SWEEP — §4.3's configuration grid, plus the delayed-ACK note."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import ablations, fairness_sweep
+
+#: a reduced grid for the bench (the full 18-cell grid runs via
+#: run_all or PGMCC_BENCH_SCALE)
+QUICK_GRID = tuple(
+    (rate, queue, loss)
+    for rate in (250_000, 500_000)
+    for queue in (10, 30)
+    for loss in (0.0, 0.02)
+)
+
+
+def test_bench_fairness_sweep(benchmark):
+    scale = max(BENCH_SCALE, 0.3)
+    grid = fairness_sweep.DEFAULT_GRID if scale >= 1.0 else QUICK_GRID
+    result = benchmark.pedantic(
+        fairness_sweep.run, kwargs={"scale": scale, "grid": grid},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    # §4.3: good sharing in all configurations, no starvation anywhere
+    assert result.metrics["worst_ratio"] < 4.0
+    for row in result.rows:
+        assert row["pgm_kbps"] > 0.05 * row["rate_kbps"]
+        assert row["tcp_kbps"] > 0.05 * row["rate_kbps"]
+
+
+def test_bench_delayed_acks(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_delayed_acks, kwargs={"scale": max(BENCH_SCALE, 0.3)},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    # no-starvation holds with either TCP receiver behaviour
+    for label in ("delack", "no-delack"):
+        assert result.metrics[f"{label}:ratio"] < 4.0
+        assert result.metrics[f"{label}:pgm"] > 50_000
+        assert result.metrics[f"{label}:tcp"] > 50_000

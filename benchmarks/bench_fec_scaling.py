@@ -1,0 +1,27 @@
+"""EXP-FEC — Fig. 7 at scale with FEC repair instead of RDATA."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import fec_scaling
+
+
+def test_bench_fec_scaling(benchmark):
+    scale = max(BENCH_SCALE, 0.3)
+    result = benchmark.pedantic(
+        fec_scaling.run,
+        kwargs={"scale": scale, "n_receivers": 30},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    # retransmission repair is a substantial share of source traffic
+    assert result.metrics["rdata:repair_share"] > 0.05
+    # FEC sends zero repairs in every configuration
+    for r in (0, 1, 2):
+        assert result.metrics[f"fec{r}:rdata"] == 0
+    # redundancy ladder: more parity, less residual loss; r=2 ~ clean
+    assert (
+        result.metrics["fec0:mean_residual"]
+        > result.metrics["fec1:mean_residual"]
+        > result.metrics["fec2:mean_residual"]
+    )
+    assert result.metrics["fec2:mean_residual"] < 0.01

@@ -1,0 +1,30 @@
+"""EXP-F2 — Fig. 2: loss-rate computation at receivers."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import fig2_loss_filter
+
+
+def test_bench_fig2(benchmark):
+    result = benchmark.pedantic(
+        fig2_loss_filter.run, kwargs={"scale": max(BENCH_SCALE, 0.25)},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    # 5% lossy link: the paper's W keeps the output around
+    # 0.05 * 2^16 ≈ 3277, within the figure's 2000–6000 band.
+    mean = result.metrics["lossy-5pct:w65000:mean"]
+    assert 2000 < mean < 6000
+    # smaller W = higher corner frequency = noisier output
+    for scenario in ("congested-60k", "lossy-5pct"):
+        stds = [result.metrics[f"{scenario}:w{w}:std"] for w in (64000, 65000, 65280)]
+        assert stds[0] > stds[1] > stds[2]
+
+
+def test_bench_filter_update_cost(benchmark):
+    """The per-packet filter update is a handful of integer ops."""
+    from repro.core.loss_filter import LossRateFilter
+
+    filt = LossRateFilter()
+    benchmark(filt.update, False)
+    assert filt.samples > 0

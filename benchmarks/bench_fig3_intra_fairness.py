@@ -1,0 +1,20 @@
+"""EXP-F3 — Fig. 3: intra-protocol fairness (two pgmcc sessions)."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import fig3_intra_fairness
+
+
+def test_bench_fig3(benchmark):
+    result = benchmark.pedantic(
+        fig3_intra_fairness.run, kwargs={"scale": max(BENCH_SCALE, 0.3)},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    # non-lossy: session 1 halves when session 2 starts, even split after
+    assert result.metrics["non-lossy:jain"] > 0.9
+    alone = result.metrics["non-lossy:rate1_alone"]
+    shared = result.metrics["non-lossy:rate1_shared"]
+    assert 0.3 * alone < shared < 0.75 * alone
+    # lossy: loss-determined rates, second session does not perturb first
+    assert result.metrics["lossy:rate1_shared"] > 0.6 * result.metrics["lossy:rate1_alone"]

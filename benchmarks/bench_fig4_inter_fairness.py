@@ -1,0 +1,22 @@
+"""EXP-F4 — Fig. 4: inter-protocol fairness (pgmcc vs TCP)."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import fig4_inter_fairness
+
+
+def test_bench_fig4(benchmark):
+    result = benchmark.pedantic(
+        fig4_inter_fairness.run, kwargs={"scale": max(BENCH_SCALE, 0.3)},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    for label in ("non-lossy", "lossy"):
+        # good sharing, no starvation either way
+        assert result.metrics[f"{label}:ratio"] < 3.5
+    # non-lossy: pgmcc yields to TCP and regains the link afterwards
+    alone = result.metrics["non-lossy:pgm_alone"]
+    assert result.metrics["non-lossy:pgm_shared"] < 0.8 * alone
+    assert result.metrics["non-lossy:pgm_after"] > 0.75 * alone
+    # co-located receivers cause switches but no throughput damage
+    assert result.metrics["non-lossy:acker_switches"] >= 1

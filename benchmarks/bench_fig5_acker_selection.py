@@ -1,0 +1,23 @@
+"""EXP-F5 — Fig. 5: acker selection across two bottlenecks."""
+
+import pytest
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import fig5_acker_selection
+
+
+def test_bench_fig5(benchmark):
+    result = benchmark.pedantic(
+        fig5_acker_selection.run, kwargs={"scale": max(BENCH_SCALE, 0.3)},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    # the paper's plateau ladder: ≈500 → ≈400 → well below → recovery
+    assert result.metrics["plateau1"] == pytest.approx(500_000, rel=0.15)
+    assert result.metrics["plateau2"] == pytest.approx(400_000, rel=0.15)
+    assert result.metrics["plateau3"] < 0.8 * result.metrics["plateau2"]
+    assert result.metrics["plateau4"] > 0.8 * result.metrics["plateau2"]
+    # the acker tracks the slowest path at every stage
+    ackers = result.metrics["ackers"]
+    assert (ackers["phase1"], ackers["phase2"]) == ("pr2", "pr1")
+    assert (ackers["phase3"], ackers["phase4"]) == ("pr2", "pr1")

@@ -1,0 +1,27 @@
+"""EXP-F6 — Fig. 6: shared bottleneck, spread receiver RTTs."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import fig6_heterogeneous_rtt
+
+
+def test_bench_fig6(benchmark):
+    result = benchmark.pedantic(
+        fig6_heterogeneous_rtt.run, kwargs={"scale": max(BENCH_SCALE, 0.25)},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    receivers = {"pr0", "pr1", "pr2", "pr3"}
+    for label in ("no-NE", "NE-suppression", "NE-rx-loss-aware"):
+        # the acker is always one of the group's receivers
+        assert result.metrics[f"{label}:dominant_acker"] in receivers
+        # TCP-compatible on the shared path: within the unfairness
+        # multiple TCPs with these RTTs would show, never starvation
+        assert result.metrics[f"{label}:ratio"] < 8.0
+        assert result.metrics[f"{label}:pgm_rate"] > 20_000
+    # suppression absorbs a substantial share of the NAK stream before
+    # it reaches the source (within-run NE counters)
+    suppressed = result.metrics["NE-suppression:ne_naks_suppressed"]
+    forwarded = result.metrics["NE-suppression:ne_naks_forwarded"]
+    assert suppressed > 0
+    assert suppressed / (suppressed + forwarded) > 0.1

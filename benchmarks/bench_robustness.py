@@ -1,0 +1,44 @@
+"""EXP-MPATH / EXP-CHURN / ABL-BURST — robustness scenarios the paper
+describes in prose (§4 multipath tests; churn; bursty loss)."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import robustness
+
+
+def test_bench_multipath(benchmark):
+    result = benchmark.pedantic(
+        robustness.run_multipath, kwargs={"scale": max(BENCH_SCALE, 0.3)},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    # reordering must not stall or starve the session
+    assert result.metrics["stalls"] == 0
+    assert result.metrics["sprayed_rate"] > 0.4 * result.metrics["single_rate"]
+    # ...though spurious dupack reactions are expected, like TCP
+    assert result.metrics["spurious_reactions"] >= 0
+
+
+def test_bench_churn(benchmark):
+    result = benchmark.pedantic(
+        robustness.run_churn, kwargs={"scale": max(BENCH_SCALE, 0.3)},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    assert result.metrics["churn_events"] >= 6
+    assert result.metrics["rate"] > 100_000  # alive and healthy
+    assert result.metrics["longest_gap"] < 10.0  # never wedged
+
+
+def test_bench_bursty_loss(benchmark):
+    result = benchmark.pedantic(
+        robustness.run_bursty_loss, kwargs={"scale": max(BENCH_SCALE, 0.3)},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    for pattern in ("bernoulli", "bursty"):
+        assert result.metrics[f"{pattern}:rate"] > 50_000
+    # clustered losses = fewer congestion events = at least as fast
+    assert (
+        result.metrics["bursty:rate"] > 0.7 * result.metrics["bernoulli:rate"]
+    )

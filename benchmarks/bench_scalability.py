@@ -1,0 +1,32 @@
+"""EXP-SCALE — §4's large-scale (up to 200 receivers) scalability test."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import scalability
+
+
+def test_bench_scalability(benchmark):
+    scale = max(BENCH_SCALE, 0.3)
+    sizes = (25, 50, 100, 200) if scale >= 1.0 else (25, 50, 100)
+    result = benchmark.pedantic(
+        scalability.run, kwargs={"scale": scale, "group_sizes": sizes},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    small, large = sizes[0], sizes[-1]
+    # a single acker: ~1 ACK per data packet at every group size
+    for n in sizes:
+        for mode in ("plain", "ne"):
+            assert 0.5 < result.metrics[f"n{n}:{mode}:acks_per_data"] < 1.5
+    # NE suppression keeps the source NAK count flat as the group grows
+    assert (
+        result.metrics[f"n{large}:ne:naks"]
+        < 3 * max(result.metrics[f"n{small}:ne:naks"], 5)
+    )
+    # ...whereas without NEs it grows with the co-located group
+    assert (
+        result.metrics[f"n{large}:plain:naks"]
+        > 1.5 * result.metrics[f"n{small}:plain:naks"]
+    )
+    # throughput is group-size independent (with router support)
+    assert result.metrics[f"n{large}:ne:rate"] > 0.85 * result.metrics[f"n{small}:ne:rate"]

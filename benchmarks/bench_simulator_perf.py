@@ -1,0 +1,36 @@
+"""Simulator performance benchmarks (regression guards, not paper
+metrics): event-loop throughput and end-to-end session cost."""
+
+from repro.pgm import create_session
+from repro.simulator import NON_LOSSY, Simulator, dumbbell
+
+
+def test_bench_event_loop(benchmark):
+    """Raw engine throughput: schedule+dispatch of chained events."""
+
+    def run_chain():
+        sim = Simulator()
+
+        def tick(n):
+            if n:
+                sim.schedule(0.001, tick, n - 1)
+
+        sim.schedule(0.0, tick, 10_000)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_chain)
+    assert events == 10_001
+
+
+def test_bench_session_second(benchmark):
+    """Cost of simulating one second of a full pgmcc session."""
+
+    def run_session():
+        net = dumbbell(1, 1, NON_LOSSY, seed=99)
+        session = create_session(net, "h0", ["r0"])
+        net.run(until=10.0)
+        return session.sender.odata_sent
+
+    sent = benchmark.pedantic(run_session, rounds=3, iterations=1)
+    assert sent > 100

@@ -1,0 +1,20 @@
+"""EXP-UNREL — §3.9: pgmcc without reliability, driving an adaptive app."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import unreliable_mode
+
+
+def test_bench_unreliable(benchmark):
+    result = benchmark.pedantic(
+        unreliable_mode.run, kwargs={"scale": max(BENCH_SCALE, 0.3)},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    # no repairs ever; reports still reach the source
+    assert result.metrics["rdata_sent"] == 0
+    assert result.metrics["naks_received"] > 0
+    # the controller tracks the squeezed link and the app steps down
+    assert result.metrics["rate_after"] < 0.6 * result.metrics["rate_before"]
+    levels = {lv.name: lv.rate_bps for lv in unreliable_mode.LEVELS}
+    assert levels[result.metrics["level_after"]] < levels[result.metrics["level_before"]]

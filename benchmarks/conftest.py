@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Each bench regenerates one figure of the paper's §4 (or an ablation),
+prints the figure's table next to the paper's expectation, and asserts
+the *shape* holds.  ``pytest-benchmark`` times the run; wall time here
+is simulation cost, not a paper metric, but keeping the runs timed
+catches performance regressions in the simulator itself.
+
+Scale: benches default to BENCH_SCALE (quick).  Set the environment
+variable ``PGMCC_BENCH_SCALE=1.0`` for paper-faithful durations.
+"""
+
+import os
+
+#: default fraction of the paper's experiment durations
+BENCH_SCALE = float(os.environ.get("PGMCC_BENCH_SCALE", "0.25"))
+
+
+def report(result) -> None:
+    """Print one experiment's table + expectation under -s."""
+    print()
+    print(result.report())

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Watching the acker follow the slowest receiver (the Fig. 5 story).
+
+Reproduces the paper's staged scenario: a receiver on a 500 kbit/s
+path runs alone, a receiver on a 400 kbit/s path joins, a TCP flow
+then squeezes the first path, and finally leaves.  The acker election
+log shows the representative moving to whichever receiver currently
+has the worst TCP-fair throughput, and the session rate following it.
+
+Run:  python examples/acker_dynamics.py
+"""
+
+from repro.analysis import bandwidth_series
+from repro.core.sender_cc import CcConfig
+from repro.pgm import add_receiver, create_session
+from repro.simulator import LinkSpec, two_bottleneck
+from repro.tcp import create_tcp_flow
+
+L1 = LinkSpec(rate_bps=400_000, delay=0.050, queue_bytes=20_000)
+L2 = LinkSpec(rate_bps=500_000, delay=0.050, queue_slots=30)
+
+PR1_JOIN = 40.0
+TCP_START = 80.0
+TCP_STOP = 140.0
+DURATION = 180.0
+
+
+def main() -> None:
+    net = two_bottleneck(L1, L2, seed=5)
+    session = create_session(net, "src", ["pr2"], cc=CcConfig(c=0.75))
+    add_receiver(net, session, "pr1", at=PR1_JOIN)
+    tcp = create_tcp_flow(net, "ts", "tr", start_at=TCP_START, stop_at=TCP_STOP)
+
+    print(f"t=  0.0s  pr2 joins (L2: 500 kbit/s)")
+    print(f"t={PR1_JOIN:5.1f}s  pr1 joins (L1: 400 kbit/s)")
+    print(f"t={TCP_START:5.1f}s  TCP starts on L2")
+    print(f"t={TCP_STOP:5.1f}s  TCP stops")
+    print()
+    net.run(until=DURATION)
+
+    print("acker election log:")
+    for switch in session.sender.controller.election.switches:
+        old = switch.old or "(none)"
+        print(f"  t={switch.time:6.1f}s  {old:7s} -> {switch.new}")
+
+    print("\nsession bandwidth (20 s bins):")
+    for b in bandwidth_series(session.trace, 0, DURATION, 20.0):
+        bar = "#" * int(b.rate_bps / 12_500)
+        print(f"  {b.t_start:5.0f}s {b.rate_bps / 1000:7.1f} kbit/s  {bar}")
+
+    tcp_rate = tcp.throughput_bps(TCP_START + 10, TCP_STOP)
+    print(f"\nTCP rate while active: {tcp_rate / 1000:.0f} kbit/s")
+    print(f"final acker: {session.sender.current_acker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Comparison baselines from the paper's related work (§2.1).
+
+Currently: equation-based single-rate multicast rate controllers, with
+the naive loss aggregation that exhibits the drop-to-zero problem [23]
+and the repaired worst-report aggregation.
+"""
+
+from .rate_controller import AGGREGATIONS, EquationRateSender
+
+__all__ = ["AGGREGATIONS", "EquationRateSender"]

@@ -1,0 +1,190 @@
+"""Acker election and tracking (§3.5).
+
+The sender continuously monitors the reports embedded in NAKs and
+elects as the group representative (the *acker*) the receiver with the
+worst expected throughput under the steady-state model of its own
+controller::
+
+    T(X) ∝ 1 / (RTT * sqrt(p))
+
+Since only comparisons matter, the implementation compares
+``RTT² · p`` values ("as this is cheaper to compute").  To bias against
+spurious switches caused by measurement noise, the sender only switches
+from the incumbent *i* to a candidate *j* when ``T(X_j) < c · T(X_i)``
+with ``0 < c ≤ 1`` — equivalently when ``M_j · c² > M_i`` in metric
+form.  The paper finds c between 0.6 and 0.8 removes unnecessary
+switches without hurting selection accuracy, and uses c = 0.75.
+
+Crucially, a switch is *not* a congestion signal: the acker is treated
+as a single receiver that moved to a different path, so the window
+controller's state survives switches untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .reports import ReceiverReport
+from .rtt import RttSampler, SmoothedRtt, packet_rtt
+from .throughput_models import LOSS_FLOOR, ThroughputModel, make_model
+
+#: The paper's recommended switch bias.
+DEFAULT_C = 0.75
+
+
+def throughput_metric(rtt: float, loss_fixed: int) -> float:
+    """``RTT² · p`` (inverse-square of the modelled throughput).
+
+    Bigger metric = slower receiver.  ``loss_fixed`` is floored at one
+    fixed-point unit.  This is the paper's default model; the election
+    also supports the full Padhye model (§5 future work) through
+    :mod:`repro.core.throughput_models`.
+    """
+    return rtt * rtt * max(loss_fixed, LOSS_FLOOR)
+
+
+@dataclass
+class AckerSwitch:
+    """One recorded change of representative."""
+
+    time: float
+    old: Optional[str]
+    new: str
+    candidate_metric: float
+    incumbent_metric: Optional[float]
+
+
+@dataclass
+class _IncumbentState:
+    rx_id: str
+    rtt: SmoothedRtt
+    loss_fixed: int = 0
+    last_report_time: float = 0.0
+
+
+class AckerElection:
+    """Tracks the incumbent acker and evaluates candidates from NAKs.
+
+    Args:
+        c: switch bias constant (``1.0`` disables the bias).
+        rtt_mode: "seq" for the paper's packet-based RTT, "time" for
+            the echoed-timestamp ablation.
+        rtt_gain: EWMA gain for smoothing the incumbent's RTT samples.
+        model: steady-state throughput model — "simple" (the paper's
+            default, T ∝ 1/(RTT·√p)) or "padhye" (the full equation of
+            [15], the paper's §5 future work for loss rates above 5%).
+    """
+
+    def __init__(self, c: float = DEFAULT_C, rtt_mode: str = RttSampler.SEQ,
+                 rtt_gain: float = 0.25, model: "str | ThroughputModel" = "simple"):
+        if not 0.0 < c <= 1.0:
+            raise ValueError(f"c must be in (0, 1], got {c}")
+        self.c = c
+        self.sampler = RttSampler(rtt_mode)
+        self.rtt_gain = rtt_gain
+        self.model = make_model(model) if isinstance(model, str) else model
+        self._incumbent: Optional[_IncumbentState] = None
+        self.switches: list[AckerSwitch] = []
+        self.candidates_rejected = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def current(self) -> Optional[str]:
+        return self._incumbent.rx_id if self._incumbent else None
+
+    @property
+    def incumbent_metric(self) -> Optional[float]:
+        """The incumbent's slowness under the active model (1/T units)."""
+        inc = self._incumbent
+        if inc is None or inc.rtt.value is None:
+            return None
+        return self.model.slowness(inc.rtt.value, inc.loss_fixed)
+
+    @property
+    def switch_count(self) -> int:
+        return len(self.switches)
+
+    # -- events ------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Forget the incumbent (stall restart: a fresh election will
+        be seeded by the elicited NAK)."""
+        self._incumbent = None
+
+    def on_ack_report(self, report: ReceiverReport, last_tx_seq: int, now: float) -> None:
+        """Refresh the incumbent's state from one of its ACKs."""
+        inc = self._incumbent
+        if inc is None or report.rx_id != inc.rx_id:
+            return
+        sample = self.sampler.sample(report, last_tx_seq, now)
+        if sample is not None:
+            inc.rtt.update(sample)
+        inc.loss_fixed = report.rx_loss
+        inc.last_report_time = now
+
+    def on_nak_report(self, report: ReceiverReport, last_tx_seq: int, now: float) -> bool:
+        """Evaluate a NAK's report; returns True if the acker switched.
+
+        A report from the incumbent itself just refreshes its state.
+        With no incumbent (session start, or after a stall cleared it)
+        the reporter is elected unconditionally — this is how the
+        startup "fake NAK" seeds the ACK clock (§3.6).
+        """
+        inc = self._incumbent
+        if inc is not None and report.rx_id == inc.rx_id:
+            self.on_ack_report(report, last_tx_seq, now)
+            return False
+
+        sample = self.sampler.sample(report, last_tx_seq, now)
+        if sample is None:
+            # Time mode with no echo in this report (e.g. a receiver
+            # that has not seen a timestamp yet): fall back to the
+            # sequence-based measure rather than ignoring the report —
+            # an unmeasurable candidate must still be electable.
+            sample = float(packet_rtt(last_tx_seq, report.rxw_lead))
+        candidate_metric = self.model.slowness(sample, report.rx_loss)
+
+        if inc is None:
+            self._install(report, sample, now, candidate_metric, None)
+            return True
+
+        incumbent_metric = self.incumbent_metric
+        if incumbent_metric is None:
+            # Incumbent never measured (no ACK yet): treat the NAK
+            # sender as the better-informed choice.
+            self._install(report, sample, now, candidate_metric, None)
+            return True
+
+        # Switch when T(X_j) < c·T(X_i), i.e. slowness_j · c > slowness_i
+        # (with the squared RTT²·p form this is the paper's c² rule).
+        if candidate_metric * self.c > incumbent_metric:
+            self._install(report, sample, now, candidate_metric, incumbent_metric)
+            return True
+        self.candidates_rejected += 1
+        return False
+
+    def _install(
+        self,
+        report: ReceiverReport,
+        rtt_sample: float,
+        now: float,
+        candidate_metric: float,
+        incumbent_metric: Optional[float],
+    ) -> None:
+        old = self.current
+        rtt = SmoothedRtt(self.rtt_gain)
+        rtt.update(rtt_sample)
+        self._incumbent = _IncumbentState(
+            rx_id=report.rx_id,
+            rtt=rtt,
+            loss_fixed=report.rx_loss,
+            last_report_time=now,
+        )
+        self.switches.append(
+            AckerSwitch(now, old, report.rx_id, candidate_metric, incumbent_metric)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AckerElection current={self.current} c={self.c} switches={self.switch_count}>"

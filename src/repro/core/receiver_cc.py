@@ -1,0 +1,158 @@
+"""Receiver-side congestion-control state (§3.2, §3.3).
+
+Each receiver keeps a constant amount of state: the low-pass loss
+filter, the highest sequence number seen (``rxw_lead``) and a recent
+receive set from which ACK bitmaps are built.  This module owns the
+*measurement* logic only; NAK scheduling/suppression policy lives with
+the PGM receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .acktrack import BITMAP_BITS, build_bitmap
+from .loss_filter import DEFAULT_W, LossRateFilter
+from .reports import ReceiverReport
+
+#: Prune the receive set this far behind the lead; well beyond both the
+#: bitmap width and any plausible reordering in our topologies.
+_PRUNE_MARGIN = 4 * BITMAP_BITS
+
+
+@dataclass
+class DataOutcome:
+    """Result of ingesting one data packet at the receiver."""
+
+    #: Sequence numbers newly detected missing (gaps opened by this packet).
+    new_gaps: list[int] = field(default_factory=list)
+    #: True if the packet was already received (duplicate/late repair).
+    duplicate: bool = False
+    #: True if the packet advanced rxw_lead.
+    advanced_lead: bool = False
+
+
+class ReceiverController:
+    """Loss measurement + receive bookkeeping for one receiver.
+
+    Args:
+        rx_id: this receiver's identity, stamped into reports.
+        filter_w: fixed-point smoothing constant for the loss filter.
+        estimator: "filter" for the paper's low-pass filter (§3.2.2)
+            or "tfrc" for the TFRC average-loss-interval method the
+            paper lists as future work (§5).
+    """
+
+    def __init__(self, rx_id: str, filter_w: int = DEFAULT_W, estimator: str = "filter"):
+        self.rx_id = rx_id
+        if estimator == "filter":
+            self.loss_filter = LossRateFilter(filter_w)
+        elif estimator == "tfrc":
+            from .tfrc_loss import LossIntervalEstimator
+
+            self.loss_filter = LossIntervalEstimator()
+        else:
+            raise ValueError(f"unknown loss estimator {estimator!r}")
+        self.rxw_lead: int = -1
+        self._received: set[int] = set()
+        self._prune_floor = 0
+        self.data_packets = 0
+        self.duplicates = 0
+        #: timestamp of the most recent sender timestamp observed, and
+        #: local receive time, for the time-RTT ablation echo.
+        self._last_tstamp: Optional[float] = None
+        self._last_tstamp_rx_time: Optional[float] = None
+        #: optional hook receiving each (seq, lost) filter sample, used
+        #: by the Fig. 2 experiment to capture the raw loss signal.
+        self.sample_observer: Optional[callable] = None
+
+    # -- data path ---------------------------------------------------------
+
+    def on_data(self, seq: int, now: float, sender_timestamp: Optional[float] = None) -> DataOutcome:
+        """Ingest a data packet (ODATA or RDATA) with sequence ``seq``.
+
+        Gap slots between the old and new lead are fed to the loss
+        filter as losses; the arriving packet as a success.  Repairs
+        and duplicates (``seq <= lead`` already seen) do not touch the
+        filter: the loss signal measures the *original* transmission
+        pattern.
+        """
+        outcome = DataOutcome()
+        if sender_timestamp is not None:
+            self._last_tstamp = sender_timestamp
+            self._last_tstamp_rx_time = now
+        if seq in self._received:
+            self.duplicates += 1
+            outcome.duplicate = True
+            return outcome
+
+        self.data_packets += 1
+        self._received.add(seq)
+        if self.rxw_lead < 0:
+            # First packet ever seen anchors the receive window: a
+            # receiver joining mid-session must not treat the whole
+            # prior history as lost (PGM semantics — earlier data is
+            # simply outside its window).
+            self.loss_filter.update(False)
+            if self.sample_observer is not None:
+                self.sample_observer(seq, False)
+            self.rxw_lead = seq
+            outcome.advanced_lead = True
+            return outcome
+        if seq > self.rxw_lead:
+            for missing in range(self.rxw_lead + 1, seq):
+                self.loss_filter.update(True)
+                if self.sample_observer is not None:
+                    self.sample_observer(missing, True)
+                outcome.new_gaps.append(missing)
+            self.loss_filter.update(False)
+            if self.sample_observer is not None:
+                self.sample_observer(seq, False)
+            self.rxw_lead = seq
+            outcome.advanced_lead = True
+            self._maybe_prune()
+        # seq < lead and unseen: a repair filling an old gap; the slot
+        # was already counted as lost when the gap opened.
+        return outcome
+
+    def _maybe_prune(self) -> None:
+        floor = self.rxw_lead - _PRUNE_MARGIN
+        if floor - self._prune_floor < _PRUNE_MARGIN:
+            return
+        self._received = {s for s in self._received if s >= floor}
+        self._prune_floor = floor
+
+    # -- report / ACK construction ---------------------------------------------
+
+    def report(self, include_timestamp: bool = False, now: Optional[float] = None) -> ReceiverReport:
+        """Build the receiver report carried on NAKs and ACKs."""
+        echo = None
+        if include_timestamp and self._last_tstamp is not None and now is not None:
+            # Correct the echoed timestamp by the local hold time so
+            # feedback delays do not inflate the RTT (§3.2.1).
+            hold = now - (self._last_tstamp_rx_time or now)
+            echo = self._last_tstamp + hold
+        return ReceiverReport(
+            rx_id=self.rx_id,
+            rxw_lead=max(self.rxw_lead, 0),
+            rx_loss=self.loss_filter.value,
+            timestamp_echo=echo,
+        )
+
+    def ack_bitmap(self, ack_seq: int) -> int:
+        """32-bit receive bitmap for an ACK elicited by ``ack_seq``."""
+        return build_bitmap(ack_seq, self._received)
+
+    def has_received(self, seq: int) -> bool:
+        return seq in self._received
+
+    @property
+    def loss_rate(self) -> float:
+        return self.loss_filter.loss_rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ReceiverController {self.rx_id} lead={self.rxw_lead} "
+            f"loss={self.loss_rate:.4f}>"
+        )

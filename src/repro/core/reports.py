@@ -1,0 +1,49 @@
+"""Receiver reports (§3.2).
+
+Reports travel to the sender as options on NAKs and ACKs (Fig. 1) and
+carry the three fields the election needs: the receiver identity, the
+highest known sequence number (from which the sender derives the RTT in
+packets), and the locally measured loss rate in fixed-point form.
+
+``timestamp_echo`` is *not* part of the paper's wire format — pgmcc
+deliberately avoids receiver timestamps — but is carried here to
+support the time-based-RTT ablation the paper ran in NS (§3.2.1) and
+reported as "does not yield any better behaviour".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .loss_filter import SCALE
+
+
+@dataclass(frozen=True)
+class ReceiverReport:
+    """One receiver's view, as embedded in a NAK or ACK.
+
+    Attributes:
+        rx_id: identity of the reporting receiver.
+        rxw_lead: highest sequence number known to the receiver.
+        rx_loss: loss rate, fixed point with 16 fractional bits.
+        timestamp_echo: most recent sender timestamp seen, corrected by
+            the receiver's hold time (ablation only; ``None`` on the
+            paper's wire format).
+    """
+
+    rx_id: str
+    rxw_lead: int
+    rx_loss: int
+    timestamp_echo: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rxw_lead < 0:
+            raise ValueError(f"rxw_lead must be >= 0, got {self.rxw_lead}")
+        if not 0 <= self.rx_loss <= SCALE:
+            raise ValueError(f"rx_loss must be in [0, {SCALE}], got {self.rx_loss}")
+
+    @property
+    def loss_rate(self) -> float:
+        """Loss rate as a float in [0, 1]."""
+        return self.rx_loss / SCALE

@@ -1,0 +1,84 @@
+"""RTT measurement (§3.2.1).
+
+pgmcc measures RTT *in packets*: the sender computes the difference
+between the most recent sequence number it transmitted and the
+``rxw_lead`` a report carries.  No receiver clock, no timestamps; the
+value scales with data rate, but identically for every receiver, so
+comparisons between receivers — the only thing the RTT is used for —
+are unaffected.
+
+A time-based estimator (echoed sender timestamps) is provided for the
+ablation the paper describes; it matches what a classical protocol
+would do with synchronised measurement support.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .reports import ReceiverReport
+
+
+def packet_rtt(last_tx_seq: int, rxw_lead: int, floor: int = 1) -> int:
+    """RTT in packets: ``last_tx_seq - rxw_lead``, floored.
+
+    A report can briefly lead the sender's own view (e.g. a stale
+    ``last_tx_seq`` after an idle period); the floor keeps the metric
+    positive and comparisons meaningful.
+    """
+    return max(floor, last_tx_seq - rxw_lead)
+
+
+class SmoothedRtt:
+    """EWMA smoother for the current acker's RTT sample stream.
+
+    New candidates are judged on a single instantaneous sample (the
+    paper: "we are likely to know only the information supplied in the
+    most recent report"); only the incumbent accumulates smoothing.
+    """
+
+    def __init__(self, gain: float = 0.25):
+        if not 0 < gain <= 1:
+            raise ValueError("gain must be in (0, 1]")
+        self.gain = gain
+        self._value: Optional[float] = None
+
+    def update(self, sample: float) -> float:
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value += self.gain * (sample - self._value)
+        return self._value
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def reset(self, initial: Optional[float] = None) -> None:
+        self._value = float(initial) if initial is not None else None
+
+
+class RttSampler:
+    """Produces RTT samples from reports in either measurement mode.
+
+    ``mode="seq"`` is the paper's scheme (RTT in packets).
+    ``mode="time"`` is the ablation: sender-time minus echoed
+    timestamp, in seconds.
+    """
+
+    SEQ = "seq"
+    TIME = "time"
+
+    def __init__(self, mode: str = SEQ):
+        if mode not in (self.SEQ, self.TIME):
+            raise ValueError(f"unknown RTT mode {mode!r}")
+        self.mode = mode
+
+    def sample(self, report: ReceiverReport, last_tx_seq: int, now: float) -> Optional[float]:
+        """One RTT sample from ``report``, or None if not measurable."""
+        if self.mode == self.SEQ:
+            return float(packet_rtt(last_tx_seq, report.rxw_lead))
+        if report.timestamp_echo is None:
+            return None
+        rtt = now - report.timestamp_echo
+        return max(rtt, 1e-6)

@@ -1,0 +1,247 @@
+"""The sender-side pgmcc engine (§3.4–§3.6).
+
+:class:`SenderController` composes the window/token controller, the
+ACK tracker and the acker election into the control loop the PGM
+sender drives:
+
+* each ODATA consumes a token and is registered as outstanding;
+* each ACK regenerates tokens (one window event per *newly* acked
+  packet, so lost/duplicated ACKs do not skew the clock), refreshes
+  the incumbent acker's RTT and loss state, and may declare losses;
+* each NAK report feeds the election;
+* a stall timer restarts the session at ``W = T = 1`` when the ACK
+  clock dies, and — after a couple of stalls in a row — marks the next
+  packet to elicit a "fake NAK" so a fresh acker can be elected
+  (§3.6).
+
+The controller is transport-agnostic: the PGM sender (or any other
+protocol) owns packet formats and retransmissions and calls in here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..simulator.engine import Simulator, Timer
+from .acker import DEFAULT_C, AckerElection
+from .acktrack import AckTracker
+from .reports import ReceiverReport
+from .rtt import RttSampler, packet_rtt
+from .window import DEFAULT_DUPACK_THRESHOLD, DEFAULT_SSTHRESH, WindowController
+
+#: Stall timeout bounds (seconds).  The timeout adapts to the measured
+#: time-RTT (which pgmcc uses "for determining timeouts", §3).
+MIN_STALL_TIMEOUT = 0.5
+MAX_STALL_TIMEOUT = 8.0
+#: Consecutive stalls after which the next packet elicits a fake NAK.
+ELICIT_AFTER_STALLS = 2
+
+
+@dataclass
+class CcConfig:
+    """All pgmcc tunables in one place (paper defaults)."""
+
+    c: float = DEFAULT_C
+    ssthresh: int = DEFAULT_SSTHRESH
+    dupack_threshold: int = DEFAULT_DUPACK_THRESHOLD
+    rtt_mode: str = RttSampler.SEQ
+    #: election throughput model: "simple" (paper default) or "padhye"
+    #: (the full [15] equation, §5 future work).
+    model: str = "simple"
+    #: adaptive slow-start threshold (§3.4 future work): track half the
+    #: window at each congestion event instead of the fixed 6 packets.
+    adaptive_ssthresh: bool = False
+    max_tokens: Optional[float] = None
+    enabled: bool = True  # dynamic disable = plain PGM sender (§3.1)
+
+
+@dataclass
+class AckDigest:
+    """What one ACK did to the sender state (for traces/tests)."""
+
+    newly_acked: list[int]
+    losses_declared: list[int]
+    reacted: bool
+    in_flight: Optional[int]
+
+
+class SenderController:
+    """pgmcc state machine on the sender."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[CcConfig] = None,
+        on_tokens: Optional[Callable[[], None]] = None,
+        on_stall: Optional[Callable[[], None]] = None,
+    ):
+        self.sim = sim
+        self.config = config or CcConfig()
+        self.window = WindowController(
+            ssthresh=self.config.ssthresh,
+            max_tokens=self.config.max_tokens,
+            adaptive_ssthresh=self.config.adaptive_ssthresh,
+        )
+        self.tracker = AckTracker(self.config.dupack_threshold)
+        self.election = AckerElection(
+            c=self.config.c, rtt_mode=self.config.rtt_mode, model=self.config.model
+        )
+        #: called whenever tokens become available (wake the tx loop)
+        self.on_tokens = on_tokens
+        #: called on each stall restart (diagnostics)
+        self.on_stall = on_stall
+
+        self.last_tx_seq: int = -1
+        #: True when the next ODATA must carry the elicit-NAK mark.
+        self.elicit_nak = True  # session startup (§3.6)
+        self._send_times: dict[int, float] = {}
+        self._srtt: Optional[float] = None
+        self._rttvar: float = 0.0
+        self._stall_timer = Timer(sim, self._on_stall_timeout)
+        self._consecutive_stalls = 0
+        self.stalls = 0
+        self.acks_seen = 0
+        self.naks_seen = 0
+
+    # -- transmit path -----------------------------------------------------
+
+    @property
+    def can_send(self) -> bool:
+        if not self.config.enabled:
+            return True
+        return self.window.can_send
+
+    def register_data(self, seq: int) -> bool:
+        """Account for an ODATA transmission; returns whether the
+        packet must carry the elicit-NAK mark."""
+        if seq <= self.last_tx_seq:
+            raise ValueError(f"non-monotonic data sequence {seq}")
+        self.last_tx_seq = seq
+        elicit = self.elicit_nak
+        self.elicit_nak = False
+        if not self.config.enabled:
+            return elicit
+        self.window.on_transmit()
+        self.tracker.on_data_sent(seq)
+        self._send_times[seq] = self.sim.now
+        if not self._stall_timer.armed:
+            self._stall_timer.start(self._stall_timeout())
+        return elicit
+
+    @property
+    def current_acker(self) -> Optional[str]:
+        return self.election.current
+
+    # -- feedback path -----------------------------------------------------
+
+    def on_nak(self, report: ReceiverReport) -> bool:
+        """Feed a NAK's receiver report to the election."""
+        self.naks_seen += 1
+        if not self.config.enabled:
+            return False
+        had_acker = self.election.current is not None
+        switched = self.election.on_nak_report(report, self.last_tx_seq, self.sim.now)
+        if switched and not had_acker and not self.window.can_send:
+            # Initial election (session start or post-stall): packets
+            # already in flight were sent without an acker id and will
+            # never be directly ACKed, so grant a token to restart the
+            # ACK clock immediately (§3.6) instead of waiting for the
+            # stall timer.
+            self.window.tokens = 1.0
+            if self.on_tokens is not None:
+                self.on_tokens()
+        return switched
+
+    def on_ack(self, ack_seq: int, bitmap: int, report: ReceiverReport) -> AckDigest:
+        """Digest an ACK from the (current or former) acker."""
+        self.acks_seen += 1
+        if not self.config.enabled:
+            return AckDigest([], [], False, None)
+
+        # ACKs keep the session alive regardless of content.
+        self._consecutive_stalls = 0
+        self._stall_timer.restart(self._stall_timeout())
+
+        outcome = self.tracker.on_ack(ack_seq, bitmap)
+        self._update_time_rtt(outcome.newly_acked)
+        self.election.on_ack_report(report, self.last_tx_seq, self.sim.now)
+
+        in_flight = packet_rtt(self.last_tx_seq, report.rxw_lead, floor=0)
+        reacted = False
+        for seq in outcome.losses:
+            if self.window.on_loss(seq, self.last_tx_seq, in_flight=in_flight):
+                reacted = True
+        had_tokens = self.window.can_send
+        for _ in outcome.newly_acked:
+            self.window.on_ack()
+        if self.tracker.outstanding_count == 0 and not self.window.can_send:
+            # Dead ACK clock: the ignore-after-halving rule consumed
+            # the last in-flight ACK.  With nothing outstanding no ACK
+            # can ever come, so restart the clock now instead of
+            # waiting for the stall timer (same effect, no idle gap).
+            self.window.tokens = 1.0
+            self.window.ignore_acks = 0
+        if self.window.can_send and not had_tokens and self.on_tokens is not None:
+            self.on_tokens()
+        return AckDigest(outcome.newly_acked, outcome.losses, reacted, in_flight)
+
+    # -- time-RTT (timeouts only) -----------------------------------------------
+
+    def _update_time_rtt(self, newly_acked: list[int]) -> None:
+        for seq in newly_acked:
+            sent = self._send_times.pop(seq, None)
+            if sent is None:
+                continue
+            sample = self.sim.now - sent
+            if self._srtt is None:
+                self._srtt = sample
+                self._rttvar = sample / 2.0
+            else:
+                self._rttvar += 0.25 * (abs(sample - self._srtt) - self._rttvar)
+                self._srtt += 0.125 * (sample - self._srtt)
+
+    @property
+    def srtt(self) -> Optional[float]:
+        """Smoothed time-domain RTT (used only for timeouts)."""
+        return self._srtt
+
+    def _stall_timeout(self) -> float:
+        if self._srtt is None:
+            return MAX_STALL_TIMEOUT / 4.0
+        rto = self._srtt + 4.0 * self._rttvar
+        backoff = 2.0 ** min(self._consecutive_stalls, 3)
+        return min(MAX_STALL_TIMEOUT, max(MIN_STALL_TIMEOUT, 2.0 * rto) * backoff)
+
+    # -- stall handling -------------------------------------------------------
+
+    def _on_stall_timeout(self) -> None:
+        if self.tracker.outstanding_count == 0 and self.window.can_send:
+            # Nothing in flight and tokens available: idle, not stalled.
+            return
+        self.stalls += 1
+        self._consecutive_stalls += 1
+        self.window.on_restart()
+        self.tracker.reset()
+        self._send_times.clear()
+        if self._consecutive_stalls >= ELICIT_AFTER_STALLS:
+            # A couple of stalls in a row: the acker is presumed gone,
+            # elicit a fake NAK to elect a fresh one (§3.6).
+            self.election.clear()
+            self.elicit_nak = True
+        if self.on_stall is not None:
+            self.on_stall()
+        if self.on_tokens is not None:
+            self.on_tokens()
+        self._stall_timer.restart(self._stall_timeout())
+
+    def close(self) -> None:
+        """Stop timers (end of session)."""
+        self._stall_timer.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SenderController acker={self.current_acker} "
+            f"W={self.window.w:.2f} T={self.window.tokens:.2f} "
+            f"out={self.tracker.outstanding_count}>"
+        )

@@ -1,0 +1,110 @@
+"""TFRC-style loss measurement (§3.2.2 / §5 future work).
+
+The paper measures loss with a first-order low-pass filter and says:
+"We also plan to investigate, as future work, the techniques used in
+TFRC [12] for measuring losses."  This module implements that
+technique — the *Average Loss Interval* method of Floyd, Handley,
+Padhye and Widmer (SIGCOMM 2000):
+
+* the packet stream is segmented into *loss intervals* — runs of
+  packets between loss events;
+* the loss event rate is the inverse of the weighted average of the
+  most recent ``n = 8`` intervals, with weights
+  ``1, 1, 1, 1, 0.8, 0.6, 0.4, 0.2`` (newest first);
+* the still-open interval since the last loss is included when that
+  *raises* the average (so the estimate decays during loss-free runs
+  but is not dragged down by an interval that merely hasn't ended).
+
+Like the paper's filter, the estimator is indexed by packet sequence
+rather than time, and exposes the same fixed-point ``value`` so it can
+drop into :class:`~repro.core.receiver_cc.ReceiverController` as an
+alternative estimator for reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .loss_filter import SCALE
+
+#: TFRC's standard history depth and weights (newest interval first).
+DEFAULT_WEIGHTS = (1.0, 1.0, 1.0, 1.0, 0.8, 0.6, 0.4, 0.2)
+
+
+class LossIntervalEstimator:
+    """Average-loss-interval estimator with the TFRC weighting.
+
+    Drop-in alternative to :class:`LossRateFilter`: feed one ``update``
+    per packet slot, read ``value`` (fixed point) or ``loss_rate``.
+    """
+
+    def __init__(self, weights: tuple[float, ...] = DEFAULT_WEIGHTS):
+        if not weights or any(w <= 0 for w in weights):
+            raise ValueError("weights must be a non-empty positive sequence")
+        self.weights = weights
+        #: closed loss intervals, newest first (packet counts)
+        self._intervals: deque[int] = deque(maxlen=len(weights))
+        #: packets since the last loss event (the open interval)
+        self._open_interval = 0
+        self.samples = 0
+        self.losses = 0
+
+    def update(self, lost: bool) -> int:
+        """Feed one packet slot; returns the new fixed-point estimate."""
+        self.samples += 1
+        self._open_interval += 1
+        if lost:
+            self.losses += 1
+            self._intervals.appendleft(self._open_interval)
+            self._open_interval = 0
+        return self.value
+
+    def update_run(self, pattern) -> int:
+        for lost in pattern:
+            self.update(lost)
+        return self.value
+
+    def _average_interval(self) -> float:
+        if not self._intervals:
+            return 0.0
+        closed = list(self._intervals)
+        weights = self.weights[: len(closed)]
+        total_weight = sum(weights)
+        avg_closed = sum(w * i for w, i in zip(weights, closed)) / total_weight
+        # Include the open interval as interval 0 when it raises the
+        # average (TFRC's history discounting of the current interval).
+        with_open = [self._open_interval] + closed
+        weights_open = self.weights[: len(with_open)]
+        avg_open = sum(w * i for w, i in zip(weights_open, with_open)) / sum(weights_open)
+        return max(avg_closed, avg_open)
+
+    @property
+    def loss_rate(self) -> float:
+        """Loss event rate: 1 / average loss interval."""
+        avg = self._average_interval()
+        if avg <= 0:
+            return 0.0
+        return min(1.0, 1.0 / avg)
+
+    @property
+    def value(self) -> int:
+        """Fixed-point form compatible with receiver reports."""
+        return int(self.loss_rate * SCALE)
+
+    @property
+    def raw_loss_rate(self) -> float:
+        if self.samples == 0:
+            return 0.0
+        return self.losses / self.samples
+
+    def reset(self) -> None:
+        self._intervals.clear()
+        self._open_interval = 0
+        self.samples = 0
+        self.losses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LossIntervalEstimator intervals={list(self._intervals)} "
+            f"open={self._open_interval} rate={self.loss_rate:.4f}>"
+        )

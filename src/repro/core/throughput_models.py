@@ -1,0 +1,93 @@
+"""Steady-state TCP throughput models for the acker election (§3.5, §5).
+
+The paper's election uses the simplified equation ``T ∝ 1/(RTT·√p)``
+and notes (footnote 3) that above roughly 5 % loss it "largely
+overestimates the throughput of the session", proposing the more
+precise model of Padhye et al. [15] as future work:
+
+    T(p) =                    1
+           ─────────────────────────────────────────────
+           RTT·√(2bp/3) + t_RTO·min(1, 3·√(3bp/8))·p·(1+32p²)
+
+Both models are exposed behind one interface returning a *slowness
+metric* (monotonically decreasing in modelled throughput) so the
+election logic is model-agnostic.  RTT and t_RTO are in pgmcc's packet
+units; only comparisons between receivers matter, so the unit cancels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+from .loss_filter import SCALE
+
+#: loss floor (fixed-point units) so loss-free receivers compare as
+#: maximally fast instead of dividing by zero.
+LOSS_FLOOR = 1
+
+
+class ThroughputModel(Protocol):
+    """Maps (rtt, loss) to a slowness metric; bigger = slower."""
+
+    name: str
+
+    def slowness(self, rtt: float, loss_fixed: int) -> float:  # pragma: no cover
+        ...
+
+
+class SimpleModel:
+    """The paper's default: ``T ∝ 1/(RTT·√p)``.
+
+    Slowness is returned in ``1/T`` units (``RTT·√p``) so the election
+    can apply the bias constant uniformly across models; comparing
+    ``RTT²·p`` with ``c²`` — the paper's cheaper form — is order-
+    equivalent.
+    """
+
+    name = "simple"
+
+    def slowness(self, rtt: float, loss_fixed: int) -> float:
+        return rtt * math.sqrt(max(loss_fixed, LOSS_FLOOR))
+
+
+class PadhyeModel:
+    """Padhye-Firoiu-Towsley-Kurose model (SIGCOMM'98), [15] in the
+    paper.
+
+    Args:
+        b: packets acknowledged per ACK (1: pgmcc has no delayed ACKs).
+        rto_rtts: retransmission timeout expressed in RTTs (the usual
+            rule of thumb t_RTO ≈ 4·RTT).
+    """
+
+    name = "padhye"
+
+    def __init__(self, b: float = 1.0, rto_rtts: float = 4.0):
+        if b <= 0 or rto_rtts <= 0:
+            raise ValueError("b and rto_rtts must be positive")
+        self.b = b
+        self.rto_rtts = rto_rtts
+
+    def throughput(self, rtt: float, p: float) -> float:
+        """Modelled packets/time for loss fraction ``p`` in (0, 1]."""
+        if p <= 0:
+            return math.inf
+        t_rto = self.rto_rtts * rtt
+        denominator = rtt * math.sqrt(2 * self.b * p / 3) + t_rto * min(
+            1.0, 3 * math.sqrt(3 * self.b * p / 8)
+        ) * p * (1 + 32 * p * p)
+        return 1.0 / denominator
+
+    def slowness(self, rtt: float, loss_fixed: int) -> float:
+        p = max(loss_fixed, LOSS_FLOOR) / SCALE
+        return 1.0 / self.throughput(rtt, p)
+
+
+def make_model(name: str) -> ThroughputModel:
+    """Model factory used by :class:`~repro.core.acker.AckerElection`."""
+    if name == "simple":
+        return SimpleModel()
+    if name == "padhye":
+        return PadhyeModel()
+    raise ValueError(f"unknown throughput model {name!r}")

@@ -1,0 +1,68 @@
+"""Shared experiment plumbing.
+
+Every experiment runner returns an :class:`ExperimentResult`: named
+rows of measurements plus the paper's expectation, so benches, tests
+and EXPERIMENTS.md all read from one structure.  ``scale`` shrinks the
+simulated duration for quick runs (tests/benches); ``scale=1.0`` is
+the paper-faithful duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    name: str
+    params: dict[str, Any] = field(default_factory=dict)
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    #: free-form derived metrics used by assertions
+    metrics: dict[str, Any] = field(default_factory=dict)
+    expectation: str = ""
+
+    def add_row(self, **fields: Any) -> None:
+        self.rows.append(fields)
+
+    def format_table(self) -> str:
+        """Plain-text table of the rows (the figure's 'data')."""
+        if not self.rows:
+            return "(no rows)"
+        columns = list(self.rows[0].keys())
+        widths = {c: len(c) for c in columns}
+        rendered = []
+        for row in self.rows:
+            cells = {c: _fmt(row.get(c, "")) for c in columns}
+            for c in columns:
+                widths[c] = max(widths[c], len(cells[c]))
+            rendered.append(cells)
+        header = "  ".join(c.ljust(widths[c]) for c in columns)
+        lines = [header, "  ".join("-" * widths[c] for c in columns)]
+        for cells in rendered:
+            lines.append("  ".join(cells[c].ljust(widths[c]) for c in columns))
+        return "\n".join(lines)
+
+    def report(self) -> str:
+        lines = [f"== {self.name} =="]
+        if self.params:
+            lines.append("params: " + ", ".join(f"{k}={_fmt(v)}" for k, v in self.params.items()))
+        lines.append(self.format_table())
+        if self.metrics:
+            lines.append("metrics: " + ", ".join(f"{k}={_fmt(v)}" for k, v in self.metrics.items()))
+        if self.expectation:
+            lines.append(f"paper: {self.expectation}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:.0f}"
+    return str(value)
+
+
+def kbps(bps: float) -> float:
+    """bits/s -> kbit/s, rounded for table display."""
+    return round(bps / 1000.0, 1)

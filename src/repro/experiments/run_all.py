@@ -1,0 +1,75 @@
+"""Run every experiment and print the full report.
+
+Usage::
+
+    python -m repro.experiments.run_all [scale]
+
+``scale`` defaults to 1.0 (paper-faithful durations; a few minutes of
+wall time).  The output of this module at scale 1.0 is what
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import (
+    ablations,
+    drop_to_zero,
+    fairness_sweep,
+    fec_scaling,
+    robustness,
+    scalability,
+    fig2_loss_filter,
+    fig3_intra_fairness,
+    fig4_inter_fairness,
+    fig5_acker_selection,
+    fig6_heterogeneous_rtt,
+    fig7_uncorrelated_loss,
+    unreliable_mode,
+)
+
+RUNS = [
+    ("EXP-F2", lambda s: fig2_loss_filter.run(scale=s)),
+    ("EXP-F3", lambda s: fig3_intra_fairness.run(scale=s)),
+    ("EXP-F4", lambda s: fig4_inter_fairness.run(scale=s)),
+    ("EXP-F5", lambda s: fig5_acker_selection.run(scale=s)),
+    ("EXP-F6", lambda s: fig6_heterogeneous_rtt.run(scale=s)),
+    ("EXP-F7", lambda s: fig7_uncorrelated_loss.run(scale=s)),
+    ("EXP-UNREL", lambda s: unreliable_mode.run(scale=s)),
+    ("EXP-FEC", lambda s: fec_scaling.run(scale=s / 2)),
+    ("EXP-DTZ", lambda s: drop_to_zero.run(scale=s / 2, group_sizes=(1, 10, 40))),
+    ("ABL-C", lambda s: ablations.run_switch_bias(scale=s / 2)),
+    ("ABL-RTT", lambda s: ablations.run_rtt_mode(scale=s / 2)),
+    ("ABL-DUP", lambda s: ablations.run_dupack(scale=s / 2)),
+    ("ABL-SS", lambda s: ablations.run_ssthresh(scale=s / 2)),
+    ("ABL-NE", lambda s: ablations.run_ne_suppression(scale=s / 2)),
+    ("ABL-MODEL", lambda s: ablations.run_throughput_model(scale=s / 2)),
+    ("ABL-ADSS", lambda s: ablations.run_adaptive_ssthresh(scale=s / 2)),
+    ("ABL-TFRC", lambda s: ablations.run_loss_estimator(scale=s / 2)),
+    ("EXP-MPATH", lambda s: robustness.run_multipath(scale=s / 2)),
+    ("EXP-CHURN", lambda s: robustness.run_churn(scale=s / 2)),
+    ("ABL-BURST", lambda s: robustness.run_bursty_loss(scale=s / 2)),
+    ("ABL-DELACK", lambda s: ablations.run_delayed_acks(scale=s / 2)),
+    ("EXP-SWEEP", lambda s: fairness_sweep.run(scale=s / 2)),
+    ("EXP-SCALE", lambda s: scalability.run(scale=s / 2)),
+]
+
+
+def main(scale: float = 1.0) -> None:
+    for exp_id, fn in RUNS:
+        started = time.time()
+        result = fn(scale)
+        print(f"\n##### {exp_id} (wall {time.time() - started:.1f}s)")
+        print(result.report())
+        sys.stdout.flush()
+
+
+def main_cli() -> None:
+    """Console-script entry point (``pgmcc-experiments [scale]``)."""
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 1.0)
+
+
+if __name__ == "__main__":
+    main_cli()

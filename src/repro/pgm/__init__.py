@@ -1,0 +1,51 @@
+"""PGM protocol substrate with pgmcc congestion control.
+
+Public surface::
+
+    from repro.pgm import (
+        PgmSender, PgmReceiver, PgmNetworkElement, PgmSession,
+        create_session, add_receiver, enable_network_elements,
+        BulkSource, FiniteSource,
+    )
+"""
+
+from . import constants
+from .fec import FecAssembler, FecPayload, FecSource, attach_fec_receiver
+from .network_element import PgmNetworkElement
+from .packets import Ack, Nak, Ncf, OData, PgmMessage, RData, Spm, decode
+from .rate_limiter import TokenBucket
+from .receiver import PgmReceiver
+from .sender import BulkSource, DataSource, FiniteSource, PgmSender
+from .session import (
+    PgmSession,
+    add_receiver,
+    create_session,
+    enable_network_elements,
+)
+
+__all__ = [
+    "constants",
+    "FecAssembler",
+    "FecPayload",
+    "FecSource",
+    "attach_fec_receiver",
+    "PgmNetworkElement",
+    "Ack",
+    "Nak",
+    "Ncf",
+    "OData",
+    "PgmMessage",
+    "RData",
+    "Spm",
+    "decode",
+    "TokenBucket",
+    "PgmReceiver",
+    "BulkSource",
+    "DataSource",
+    "FiniteSource",
+    "PgmSender",
+    "PgmSession",
+    "add_receiver",
+    "create_session",
+    "enable_network_elements",
+]

@@ -1,0 +1,224 @@
+"""FEC-based repair for pgmcc sessions (§3.9, §4.5, refs [13][18][20]).
+
+The paper's Fig. 7 caveat: large-group tests "cannot be run with simple
+retransmission-based repairs, or the repair traffic would quickly
+dominate the actual data traffic on the link from the source".  The
+scalable alternative its references develop (RMDP, parity-based
+recovery, digital fountains) is *forward error correction*: the source
+interleaves parity packets so each receiver repairs its own
+uncorrelated losses locally, and no feedback-driven repair traffic is
+needed at all.
+
+This module implements a systematic (k, n) block code over the pgmcc
+packet stream:
+
+* the :class:`FecSource` wraps an application payload stream; after
+  every ``k`` data packets it emits ``r = n - k`` parity packets, all
+  flowing through pgmcc as ordinary ODATA (original transmissions,
+  congestion-controlled and ACK-clocked like everything else);
+* a :class:`FecAssembler` on each receiver reconstructs a block as
+  soon as *any* ``k`` of its ``n`` packets arrive — the defining
+  property of an MDS erasure code (e.g. Reed-Solomon / Vandermonde
+  codes, ref [18]).  The simulator does not move real payload bits for
+  parity, so decoding is modelled by that count property, which is
+  exactly what determines protocol-level behaviour.
+
+Redundancy can be fixed or adapted to the receivers' reported loss
+rate via :class:`~repro.core.feedback.AdaptiveSource`-style hooks
+(§3.9's first kind of feedback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from . import constants as C
+
+
+@dataclass(frozen=True)
+class FecPayload:
+    """Tag travelling inside ODATA payload-objects for FEC sessions.
+
+    Attributes:
+        block: block number.
+        index: position within the block (0..n-1; >= k means parity).
+        k: data packets per block.
+        n: total packets per block.
+    """
+
+    block: int
+    index: int
+    k: int
+    n: int
+
+    @property
+    def is_parity(self) -> bool:
+        return self.index >= self.k
+
+
+class FecSource:
+    """A pgmcc :class:`~repro.pgm.sender.DataSource` emitting
+    systematic FEC blocks.
+
+    Args:
+        k: data packets per block.
+        redundancy: parity packets per block (``r``); may be changed
+            between blocks (adaptive FEC, §3.9).
+        payload_size: bytes per packet.
+        limit_blocks: stop after this many blocks (None = unbounded).
+    """
+
+    def __init__(
+        self,
+        k: int = 16,
+        redundancy: int = 2,
+        payload_size: int = C.DEFAULT_PAYLOAD,
+        limit_blocks: Optional[int] = None,
+    ):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if redundancy < 0:
+            raise ValueError("redundancy cannot be negative")
+        self.k = k
+        self.redundancy = redundancy
+        self.payload_size = payload_size
+        self.limit_blocks = limit_blocks
+        self._block = 0
+        self._index = 0
+        #: redundancy to apply from the next block boundary (a block's
+        #: geometry must not change once its packets started flowing)
+        self._pending_redundancy: Optional[int] = None
+        self.data_packets = 0
+        self.parity_packets = 0
+
+    # -- DataSource interface -------------------------------------------------
+
+    def has_data(self) -> bool:
+        if self.limit_blocks is None:
+            return True
+        return self._block < self.limit_blocks
+
+    def peek_size(self) -> int:
+        return self.payload_size
+
+    def next_payload(self) -> tuple[int, "FecPayload"]:
+        if self._index == 0 and self._pending_redundancy is not None:
+            self.redundancy = self._pending_redundancy
+            self._pending_redundancy = None
+        n = self.k + self.redundancy
+        tag = FecPayload(self._block, self._index, self.k, n)
+        if tag.is_parity:
+            self.parity_packets += 1
+        else:
+            self.data_packets += 1
+        self._index += 1
+        if self._index >= n:
+            self._index = 0
+            self._block += 1
+        return self.payload_size, tag  # type: ignore[return-value]
+
+    def set_redundancy(self, redundancy: int) -> None:
+        """Adjust parity share; takes effect at the next block."""
+        if redundancy < 0:
+            raise ValueError("redundancy cannot be negative")
+        if self._index == 0:
+            self.redundancy = redundancy
+        else:
+            self._pending_redundancy = redundancy
+
+    @property
+    def overhead(self) -> float:
+        """Current parity share of the stream."""
+        n = self.k + self.redundancy
+        return self.redundancy / n
+
+
+@dataclass
+class _BlockState:
+    received: set[int] = field(default_factory=set)
+    decoded: bool = False
+
+
+class FecAssembler:
+    """Receiver-side block reconstruction.
+
+    Feed it every delivered packet's :class:`FecPayload` tag; it
+    declares a block decoded once any ``k`` of its packets arrived and
+    reports residual (unrecoverable) data loss for closed blocks.
+    """
+
+    def __init__(self, on_block: Optional[Callable[[int], None]] = None):
+        self._blocks: dict[int, _BlockState] = {}
+        self.on_block = on_block
+        self.blocks_decoded = 0
+        self.packets_seen = 0
+        #: highest block for which a packet was seen
+        self.highest_block = -1
+        #: first block observed, and whether it was observed from its
+        #: first packet — a mid-session joiner's first block is
+        #: inherently partial and excluded from residual-loss counting
+        self.first_block = -1
+        self._joined_mid_block = False
+
+    def on_payload(self, tag: FecPayload) -> bool:
+        """Ingest one packet; returns True if this completed its block."""
+        self.packets_seen += 1
+        if self.first_block < 0:
+            self.first_block = tag.block
+            self._joined_mid_block = tag.index != 0 or tag.block != 0
+        self.highest_block = max(self.highest_block, tag.block)
+        state = self._blocks.setdefault(tag.block, _BlockState())
+        if state.decoded:
+            return False
+        state.received.add(tag.index)
+        if len(state.received) >= tag.k:
+            state.decoded = True
+            self.blocks_decoded += 1
+            if self.on_block is not None:
+                self.on_block(tag.block)
+            return True
+        return False
+
+    def _count_start(self) -> int:
+        if self.first_block < 0:
+            return 0
+        return self.first_block + 1 if self._joined_mid_block else self.first_block
+
+    def undecoded_blocks(self, up_to_block: int) -> list[int]:
+        """Fully-observed blocks at or below ``up_to_block`` still
+        missing data (a mid-block joiner's first block is excluded)."""
+        start = self._count_start()
+        missing = []
+        for block in range(start, up_to_block + 1):
+            state = self._blocks.get(block)
+            if state is None or not state.decoded:
+                missing.append(block)
+        return missing
+
+    def residual_block_loss(self, up_to_block: Optional[int] = None) -> float:
+        """Fraction of fully-observed, closed blocks that could not be
+        reconstructed.  The joiner's partial first block and the
+        still-open highest block are excluded."""
+        if up_to_block is None:
+            # the highest block may still be in flight; exclude it
+            up_to_block = self.highest_block - 1
+        start = self._count_start()
+        total = up_to_block - start + 1
+        if total <= 0:
+            return 0.0
+        return len(self.undecoded_blocks(up_to_block)) / total
+
+
+def attach_fec_receiver(receiver, assembler: FecAssembler) -> None:
+    """Wire an assembler into a :class:`~repro.pgm.receiver.PgmReceiver`.
+
+    The receiver must run with ``reliable=False`` delivery (FEC replaces
+    retransmission); its ``deliver`` callback is replaced.
+    """
+
+    def deliver(seq: int, payload_len: int, payload) -> None:
+        if isinstance(payload, FecPayload):
+            assembler.on_payload(payload)
+
+    receiver.deliver = deliver

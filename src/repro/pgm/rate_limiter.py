@@ -1,0 +1,64 @@
+"""The PGM sender rate limiter.
+
+The PGM specification has no congestion control; sources transmit at a
+pre-set rate.  With pgmcc enabled, the limiter "only serves to limit
+the maximum data rate of the session" (§3.1) — the token bucket here
+implements that cap, and also paces RDATA (§3.8: repairs are sent "only
+subject to the throughput of the rate limiter").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class TokenBucket:
+    """Byte-granularity token bucket.
+
+    Args:
+        rate_bps: sustained rate in bits per second; ``None`` disables
+            limiting entirely.
+        bucket_bytes: burst capacity; defaults to ~4 max-size packets.
+    """
+
+    def __init__(self, rate_bps: Optional[float], bucket_bytes: int = 6000):
+        if rate_bps is not None and rate_bps <= 0:
+            raise ValueError("rate_bps must be positive (or None)")
+        self.rate_bps = rate_bps
+        self.bucket_bytes = bucket_bytes
+        self._tokens = float(bucket_bytes)
+        self._last_update = 0.0
+
+    def _refill(self, now: float) -> None:
+        if self.rate_bps is None:
+            return
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            self._tokens = min(
+                self.bucket_bytes, self._tokens + elapsed * self.rate_bps / 8.0
+            )
+            self._last_update = now
+
+    #: tolerance absorbing float rounding so a deficit of a nano-byte
+    #: neither blocks consumption nor yields a zero-ish busy-loop delay
+    EPSILON_BYTES = 1e-6
+
+    def try_consume(self, nbytes: int, now: float) -> bool:
+        """Consume ``nbytes`` if available; returns success."""
+        if self.rate_bps is None:
+            return True
+        self._refill(now)
+        if self._tokens >= nbytes - self.EPSILON_BYTES:
+            self._tokens -= nbytes
+            return True
+        return False
+
+    def delay_until_available(self, nbytes: int, now: float) -> float:
+        """Seconds until ``nbytes`` could be consumed (0 if now)."""
+        if self.rate_bps is None:
+            return 0.0
+        self._refill(now)
+        deficit = nbytes - self._tokens
+        if deficit <= self.EPSILON_BYTES:
+            return 0.0
+        return deficit * 8.0 / self.rate_bps

@@ -1,0 +1,366 @@
+"""The PGM receiver with pgmcc attached (§3.2, §3.3, §3.6).
+
+Receivers detect losses from sequence gaps, run the low-pass loss
+filter, and send NAKs carrying their report after a randomised backoff
+(the classic feedback-suppression technique).  NCFs — from network
+elements or from the source — cancel pending NAKs; if the repair then
+fails to arrive within ``NAK_RDATA_IVL`` the receiver re-NAKs.
+
+When a data packet names this receiver as the acker, it unicasts an
+ACK to the source for that packet (original transmissions only, never
+repairs), carrying ``ack_seq``, the 32-bit receive bitmap and its
+report.
+
+When the elicit-NAK mark is seen (first packet of a session or
+post-stall restart, §3.6) the receiver answers with a *fake* NAK: a
+report-only NAK for a packet it actually received, seeding the acker
+election without requesting a repair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.receiver_cc import ReceiverController
+from ..core.loss_filter import DEFAULT_W
+from ..simulator.engine import Timer
+from ..simulator.node import Host
+from ..simulator.packet import Packet
+from . import constants as C
+from .packets import Ack, Nak, Ncf, OData, RData, Spm
+
+
+@dataclass
+class _NakState:
+    """Per-missing-sequence NAK state machine.
+
+    States: BACKOFF (timer running before first/again NAK) ->
+    AWAIT_NCF (NAK sent, waiting for confirmation; retry on timer) ->
+    CONFIRMED (NCF seen, waiting for RDATA; re-NAK on timer).
+    """
+
+    seq: int
+    timer: Timer
+    state: str = "BACKOFF"
+    attempts: int = 0
+
+
+class PgmReceiver:
+    """One PGM/pgmcc receiver.
+
+    Args:
+        host: simulator host (must be subscribed to ``group``).
+        group: session multicast group.
+        tsi: transport session id.
+        source_addr: unicast address of the PGM source.
+        rx_id: report identity; defaults to the host name.
+        reliable: when False (§3.9) the receiver reports losses but
+            expects no repairs (one NAK per loss, no retry loop).
+        deliver: callback ``(seq, payload_len, payload)`` invoked in
+            order for reliable sessions, or immediately in unreliable
+            ones.
+        echo_timestamps: include corrected timestamp echoes in reports
+            (time-based RTT ablation only).
+        estimator: "filter" (paper) or "tfrc" loss measurement.
+        recover_history: on joining mid-session, NAK backwards from
+            the sender's advertised trail to recover earlier data (the
+            PGM option §3.8 names as a NAK-storm source).
+        storm_threshold / storm_spacing: NAK pacing (§3.8): when more
+            than ``storm_threshold`` repairs are pending, consecutive
+            NAK transmissions are spaced at least ``storm_spacing``
+            seconds apart.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        group: str,
+        tsi: int,
+        source_addr: str,
+        rx_id: Optional[str] = None,
+        reliable: bool = True,
+        filter_w: int = DEFAULT_W,
+        deliver: Optional[Callable[[int, int, bytes], None]] = None,
+        echo_timestamps: bool = False,
+        rng: Optional[random.Random] = None,
+        nak_bo_ivl: float = C.NAK_BO_IVL,
+        nak_rpt_ivl: float = C.NAK_RPT_IVL,
+        nak_rdata_ivl: float = C.NAK_RDATA_IVL,
+        nak_max_retries: int = C.NAK_MAX_RETRIES,
+        estimator: str = "filter",
+        recover_history: bool = False,
+        history_limit: int = 1024,
+        storm_threshold: int = 32,
+        storm_spacing: float = 0.02,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.group = group
+        self.tsi = tsi
+        self.source_addr = source_addr
+        self.rx_id = rx_id if rx_id is not None else host.name
+        self.reliable = reliable
+        self.deliver = deliver
+        self.echo_timestamps = echo_timestamps
+        if rng is None:
+            # str.hash() is salted per process; derive a stable seed so
+            # receivers behave identically run to run.
+            import zlib
+
+            rng = random.Random(zlib.crc32(self.rx_id.encode("utf-8")))
+        self.rng = rng
+        self.nak_bo_ivl = nak_bo_ivl
+        self.nak_rpt_ivl = nak_rpt_ivl
+        self.nak_rdata_ivl = nak_rdata_ivl
+        self.nak_max_retries = nak_max_retries
+
+        self.cc = ReceiverController(self.rx_id, filter_w, estimator=estimator)
+        self.recover_history = recover_history
+        self.history_limit = history_limit
+        self.storm_threshold = storm_threshold
+        self.storm_spacing = storm_spacing
+        self._last_nak_time = -1e9
+        self._nak_states: dict[int, _NakState] = {}
+        #: in-order delivery state (reliable mode)
+        self._pending_delivery: dict[int, tuple[int, bytes]] = {}
+        self._next_deliver = 0
+        self._abandoned: set[int] = set()
+        # statistics
+        self.odata_received = 0
+        self.rdata_received = 0
+        self.naks_sent = 0
+        self.fake_naks_sent = 0
+        self.acks_sent = 0
+        self.ncfs_received = 0
+        self.naks_suppressed_by_ncf = 0
+        self.repairs_abandoned = 0
+        self.delivered = 0
+        self.spms_received = 0
+        self.tail_loss_detections = 0
+        self._last_spm_lead = -1
+        host.register_agent(C.PROTO, self)
+
+    # -- receive dispatch ---------------------------------------------------
+
+    def handle_packet(self, packet: Packet) -> None:
+        msg = packet.payload
+        if getattr(msg, "tsi", None) != self.tsi:
+            return
+        if isinstance(msg, OData):
+            self._handle_data(msg, is_repair=False)
+        elif isinstance(msg, RData):
+            self._handle_data(msg, is_repair=True)
+        elif isinstance(msg, Ncf):
+            self._handle_ncf(msg)
+        elif isinstance(msg, Spm):
+            self._handle_spm(msg)
+        # ACKs are unicast to the source; receivers never see them.
+
+    # -- data path -----------------------------------------------------------
+
+    def _handle_data(self, msg, is_repair: bool) -> None:
+        if is_repair:
+            self.rdata_received += 1
+        else:
+            self.odata_received += 1
+        if self.cc.rxw_lead < 0:
+            # First packet anchors in-order delivery as well (mid-join
+            # receivers start from here, not from sequence 0) — unless
+            # the application asked to recover the session's history.
+            if self.recover_history and not is_repair:
+                start = max(msg.trail, msg.seq - self.history_limit)
+                self._next_deliver = start
+                for missing in range(start, msg.seq):
+                    self._open_nak_state(missing)
+            else:
+                self._next_deliver = msg.seq
+        outcome = self.cc.on_data(msg.seq, self.sim.now, msg.timestamp)
+
+        # Any arrival of the sequence quenches its NAK machinery.
+        self._drop_nak_state(msg.seq)
+        for gap in outcome.new_gaps:
+            self._open_nak_state(gap)
+
+        if not outcome.duplicate:
+            self._deliver(msg.seq, msg.payload_len, msg.payload)
+
+        if is_repair:
+            return
+        # ODATA-only behaviour: ACK if we are the acker, fake-NAK if marked.
+        if msg.acker_id == self.rx_id:
+            self._send_ack(msg.seq)
+        if msg.elicit_nak:
+            self._send_fake_nak(msg.seq)
+
+    def _deliver(self, seq: int, payload_len: int, payload: bytes) -> None:
+        if self.deliver is None:
+            self.delivered += 1
+            return
+        if not self.reliable:
+            self.delivered += 1
+            self.deliver(seq, payload_len, payload)
+            return
+        self._pending_delivery[seq] = (payload_len, payload)
+        while True:
+            if self._next_deliver in self._pending_delivery:
+                plen, pay = self._pending_delivery.pop(self._next_deliver)
+                self.deliver(self._next_deliver, plen, pay)
+                self.delivered += 1
+                self._next_deliver += 1
+            elif self._next_deliver in self._abandoned:
+                self._abandoned.discard(self._next_deliver)
+                self._next_deliver += 1
+            else:
+                break
+
+    # -- NAK state machine ----------------------------------------------------
+
+    def _open_nak_state(self, seq: int) -> None:
+        if seq in self._nak_states:
+            return
+        state = _NakState(seq, Timer(self.sim, lambda s=seq: self._nak_timer_fired(s)))
+        self._nak_states[seq] = state
+        state.timer.start(self.rng.uniform(0, self.nak_bo_ivl))
+
+    def _drop_nak_state(self, seq: int) -> None:
+        state = self._nak_states.pop(seq, None)
+        if state is not None:
+            state.timer.cancel()
+
+    def _nak_timer_fired(self, seq: int) -> None:
+        state = self._nak_states.get(seq)
+        if state is None:
+            return
+        if state.state == "CONFIRMED":
+            # NCF seen but the repair never arrived: start over.
+            state.state = "BACKOFF"
+            state.timer.restart(self.rng.uniform(0, self.nak_bo_ivl))
+            return
+        # BACKOFF or AWAIT_NCF: (re)send the NAK.
+        if state.attempts >= self.nak_max_retries:
+            self._abandon(seq)
+            return
+        if len(self._nak_states) > self.storm_threshold:
+            # §3.8 NAK-storm pacing: with many repairs pending, space
+            # NAK transmissions out instead of bursting them.
+            wait = self._last_nak_time + self.storm_spacing - self.sim.now
+            if wait > 0:
+                state.timer.restart(wait + self.rng.uniform(0, self.storm_spacing))
+                return
+        state.attempts += 1
+        self._send_nak(seq)
+        if self.reliable:
+            state.state = "AWAIT_NCF"
+            state.timer.restart(self.nak_rpt_ivl)
+        else:
+            # Report-only mode: one NAK per loss event, no repair loop.
+            self._drop_nak_state(seq)
+
+    def _abandon(self, seq: int) -> None:
+        self._drop_nak_state(seq)
+        self.repairs_abandoned += 1
+        self._abandoned.add(seq)
+        # Unblock in-order delivery past the permanently missing packet.
+        self._deliver_advance()
+
+    def _deliver_advance(self) -> None:
+        while self._next_deliver in self._abandoned:
+            self._abandoned.discard(self._next_deliver)
+            self._next_deliver += 1
+        while self._next_deliver in self._pending_delivery:
+            plen, pay = self._pending_delivery.pop(self._next_deliver)
+            if self.deliver is not None:
+                self.deliver(self._next_deliver, plen, pay)
+            self.delivered += 1
+            self._next_deliver += 1
+
+    def _handle_spm(self, spm: Spm) -> None:
+        """SPM window bookkeeping.
+
+        The advertised ``trail`` marks the oldest sequence the sender
+        can still repair: pending NAK state below it is abandoned and
+        in-order delivery unblocked past the permanently lost data.
+        The advertised ``lead`` exposes *tail losses* — packets at the
+        end of a burst that no later ODATA will reveal; two
+        consecutive SPMs agreeing on a lead beyond what was received
+        (so in-flight data has had time to arrive) trigger NAKs.
+        """
+        self.spms_received += 1
+        for seq in [s for s in self._nak_states if s < spm.trail]:
+            self._abandon(seq)
+        if self.reliable and self.deliver is not None and spm.trail > self._next_deliver:
+            for seq in range(self._next_deliver, spm.trail):
+                if seq not in self._pending_delivery:
+                    self._abandoned.add(seq)
+            self._deliver_advance()
+        if (
+            self.cc.rxw_lead >= 0
+            and spm.lead > self.cc.rxw_lead
+            and spm.lead == self._last_spm_lead
+        ):
+            for missing in range(self.cc.rxw_lead + 1, spm.lead + 1):
+                self._open_nak_state(missing)
+            self.tail_loss_detections += 1
+        self._last_spm_lead = spm.lead
+
+    def _handle_ncf(self, ncf: Ncf) -> None:
+        self.ncfs_received += 1
+        state = self._nak_states.get(ncf.seq)
+        if state is None:
+            return
+        if state.state in ("BACKOFF", "AWAIT_NCF"):
+            self.naks_suppressed_by_ncf += 1
+            state.state = "CONFIRMED"
+            state.timer.restart(self.nak_rdata_ivl)
+
+    # -- feedback transmission ----------------------------------------------
+
+    def _report(self):
+        return self.cc.report(include_timestamp=self.echo_timestamps, now=self.sim.now)
+
+    def _send_nak(self, seq: int, fake: bool = False) -> None:
+        nak = Nak(self.tsi, seq, self._report(), fake=fake)
+        self.host.send(
+            Packet(self.host.name, self.source_addr, nak.wire_size(), nak, C.PROTO)
+        )
+        self._last_nak_time = self.sim.now
+        if fake:
+            self.fake_naks_sent += 1
+        else:
+            self.naks_sent += 1
+
+    def _send_fake_nak(self, seq: int) -> None:
+        # Small jitter so co-located receivers do not synchronise.
+        self.sim.schedule(
+            self.rng.uniform(0, self.nak_bo_ivl / 4), self._send_nak, seq, True
+        )
+
+    def _send_ack(self, ack_seq: int) -> None:
+        ack = Ack(self.tsi, ack_seq, self.cc.ack_bitmap(ack_seq), self._report())
+        self.host.send(
+            Packet(self.host.name, self.source_addr, ack.wire_size(), ack, C.PROTO)
+        )
+        self.acks_sent += 1
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def loss_rate(self) -> float:
+        return self.cc.loss_rate
+
+    @property
+    def rxw_lead(self) -> int:
+        return self.cc.rxw_lead
+
+    def close(self) -> None:
+        for state in self._nak_states.values():
+            state.timer.cancel()
+        self._nak_states.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PgmReceiver {self.rx_id} lead={self.rxw_lead} "
+            f"loss={self.loss_rate:.4f} acks={self.acks_sent}>"
+        )

@@ -1,0 +1,342 @@
+"""The PGM sender with pgmcc attached (§3.1, §3.4, §3.6, §3.8).
+
+The sender multicasts ODATA gated by two things only: the pgmcc token
+count and the PGM rate limiter (which, with congestion control enabled,
+merely caps the session's maximum rate).  NAKs feed the acker election
+and trigger repairs; ACKs drive the window controller.
+
+Repairs follow §3.8: RDATA goes out as soon as the NAK arrives,
+subject only to the rate limiter — the congestion controller regulates
+original data, and as long as the acker really is the slowest receiver
+the repair percentage stays low.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from ..core.sender_cc import CcConfig, SenderController
+from ..simulator.engine import Timer
+from ..simulator.node import Host
+from ..simulator.packet import Packet
+from ..simulator.trace import FlowTrace
+from . import constants as C
+from .packets import Ack, Nak, Ncf, OData, RData, Spm
+from .rate_limiter import TokenBucket
+
+
+class DataSource(Protocol):
+    """Application data feed.
+
+    ``has_data`` gates the pump; ``peek_size`` tells the pump how large
+    the next payload would be (for the rate limiter) without consuming
+    it; ``next_payload`` consumes and returns (payload_len, bytes).
+    """
+
+    def has_data(self) -> bool:  # pragma: no cover - protocol
+        ...
+
+    def peek_size(self) -> int:  # pragma: no cover - protocol
+        ...
+
+    def next_payload(self) -> tuple[int, bytes]:  # pragma: no cover
+        ...
+
+
+class BulkSource:
+    """Infinite bulk transfer (what all the paper's experiments run)."""
+
+    def __init__(self, payload_size: int = C.DEFAULT_PAYLOAD):
+        self.payload_size = payload_size
+
+    def has_data(self) -> bool:
+        return True
+
+    def peek_size(self) -> int:
+        return self.payload_size
+
+    def next_payload(self) -> tuple[int, bytes]:
+        return self.payload_size, b""
+
+
+class FiniteSource:
+    """A finite sequence of real payload chunks (file transfer)."""
+
+    def __init__(self, chunks: list[bytes]):
+        self._chunks = list(chunks)
+        self._next = 0
+
+    def has_data(self) -> bool:
+        return self._next < len(self._chunks)
+
+    def peek_size(self) -> int:
+        return len(self._chunks[self._next])
+
+    def next_payload(self) -> tuple[int, bytes]:
+        chunk = self._chunks[self._next]
+        self._next += 1
+        return len(chunk), chunk
+
+    @property
+    def remaining(self) -> int:
+        return len(self._chunks) - self._next
+
+
+class PgmSender:
+    """One PGM/pgmcc source.
+
+    Args:
+        host: the simulator host this agent lives on.
+        group: multicast group address for the session.
+        tsi: transport session identifier.
+        cc: pgmcc configuration (``CcConfig(enabled=False)`` gives a
+            plain rate-limited PGM sender, §3.1's dynamic disable).
+        source: application data source (default: infinite bulk).
+        max_rate_bps: the PGM rate limiter setting (session cap).
+        reliable: when False (§3.9), NAKs are accepted for their
+            reports but no RDATA is ever sent.
+        trace: flow trace receiving "data"/"rdata"/"nak"/"ack"/
+            "acker-switch"/"cc-loss"/"stall" records.
+        on_token: application feedback hook called at every
+            transmission opportunity (§3.9).
+    """
+
+    #: suppress a duplicate RDATA for the same sequence within this
+    #: window — the source-side analogue of NE NAK elimination, needed
+    #: when many receivers NAK the same loss without NEs in the path.
+    RDATA_HOLDOFF = 0.5
+
+    def __init__(
+        self,
+        host: Host,
+        group: str,
+        tsi: int,
+        cc: Optional[CcConfig] = None,
+        source: Optional[DataSource] = None,
+        max_rate_bps: Optional[float] = None,
+        reliable: bool = True,
+        trace: Optional[FlowTrace] = None,
+        on_token: Optional[Callable[[float], None]] = None,
+        spm_ivl: float = C.SPM_IVL,
+        payload_size: int = C.DEFAULT_PAYLOAD,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.group = group
+        self.tsi = tsi
+        self.source = source if source is not None else BulkSource(payload_size)
+        self.reliable = reliable
+        self.trace = trace if trace is not None else FlowTrace(f"pgm-{tsi}")
+        self.on_token = on_token
+        if (cc is not None and not cc.enabled) and max_rate_bps is None:
+            # A plain PGM sender transmits at a pre-set rate (§3.1);
+            # with neither congestion control nor a rate limiter there
+            # is nothing to pace transmissions and the pump would spin.
+            raise ValueError(
+                "congestion control disabled requires max_rate_bps "
+                "(plain PGM senders transmit at a pre-set rate, §3.1)"
+            )
+        self.limiter = TokenBucket(max_rate_bps)
+        self.controller = SenderController(
+            self.sim, cc or CcConfig(), on_tokens=self._pump, on_stall=self._log_stall
+        )
+        self.next_seq = 0
+        self.trail = 0
+        #: retained payloads for repair: seq -> (payload_len, payload)
+        self._tx_window: dict[int, tuple[int, bytes]] = {}
+        self._tx_window_capacity = C.TX_WINDOW_PACKETS
+        self._recent_repairs: dict[int, float] = {}
+        self._spm_seq = 0
+        self._spm_ivl = spm_ivl
+        self._spm_timer = Timer(self.sim, self._send_spm)
+        self._pump_timer = Timer(self.sim, self._pump)
+        self._started = False
+        self._closed = False
+        # statistics
+        self.odata_sent = 0
+        self.rdata_sent = 0
+        self.naks_received = 0
+        self.acks_received = 0
+        self.bytes_sent = 0
+        #: NAKs reaching the source, by reporting receiver — shows how
+        #: NE suppression skews the report stream (Fig. 6 discussion).
+        self.nak_origins: dict[str, int] = {}
+        host.register_agent(C.PROTO, self)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("sender already started")
+        self._started = True
+        self._send_spm()
+        self._pump()
+
+    def close(self) -> None:
+        self._closed = True
+        self._spm_timer.cancel()
+        self._pump_timer.cancel()
+        self.controller.close()
+
+    # -- transmit pump -----------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Send ODATA while tokens, rate budget and app data allow."""
+        if not self._started or self._closed:
+            return
+        while self.controller.can_send and self.source.has_data():
+            probe = OData(
+                self.tsi,
+                self.next_seq,
+                self.trail,
+                self.source.peek_size(),
+                acker_id=self.controller.current_acker,
+            )
+            size = probe.wire_size()
+            delay = self.limiter.delay_until_available(size, self.sim.now)
+            if delay > 0:
+                self._pump_timer.restart(delay)
+                return
+            self.limiter.try_consume(size, self.sim.now)
+            payload_len, payload = self.source.next_payload()
+            self._send_odata(payload_len, payload)
+
+    def _send_odata(self, payload_len: int, payload: bytes) -> None:
+        seq = self.next_seq
+        self.next_seq += 1
+        elicit = self.controller.register_data(seq)
+        odata = OData(
+            self.tsi,
+            seq,
+            self.trail,
+            payload_len,
+            timestamp=self.sim.now,
+            acker_id=self.controller.current_acker,
+            elicit_nak=elicit,
+            payload=payload,
+        )
+        self._tx_window[seq] = (payload_len, payload)
+        if len(self._tx_window) > self._tx_window_capacity:
+            self.trail = seq - self._tx_window_capacity + 1
+            for old in list(self._tx_window):
+                if old < self.trail:
+                    del self._tx_window[old]
+        self.host.send(
+            Packet(self.host.name, self.group, odata.wire_size(), odata, C.PROTO)
+        )
+        self.odata_sent += 1
+        self.bytes_sent += payload_len
+        self.trace.log(self.sim.now, "data", seq, payload_len)
+        if self.on_token is not None:
+            self.on_token(self.sim.now)
+
+    # -- receive path ---------------------------------------------------------
+
+    def handle_packet(self, packet: Packet) -> None:
+        msg = packet.payload
+        if isinstance(msg, Nak) and msg.tsi == self.tsi:
+            self._handle_nak(msg)
+        elif isinstance(msg, Ack) and msg.tsi == self.tsi:
+            self._handle_ack(msg)
+        # SPM/NCF/data addressed to us are not expected; ignore.
+
+    def _handle_nak(self, nak: Nak) -> None:
+        self.naks_received += 1
+        rx = nak.report.rx_id
+        self.nak_origins[rx] = self.nak_origins.get(rx, 0) + 1
+        self.trace.log(self.sim.now, "nak", nak.seq)
+        before = self.controller.current_acker
+        switched = self.controller.on_nak(nak.report)
+        if switched:
+            self.trace.log(self.sim.now, "acker-switch", nak.seq)
+            self._log_switch(before, self.controller.current_acker)
+        # Confirm the NAK downstream so other receivers suppress theirs.
+        ncf = Ncf(self.tsi, nak.seq)
+        self.host.send(Packet(self.host.name, self.group, 64, ncf, C.PROTO))
+        if nak.fake or not self.reliable:
+            return
+        for seq in nak.all_seqs():
+            self._maybe_repair(seq)
+
+    def _log_switch(self, old: Optional[str], new: Optional[str]) -> None:
+        pass  # history already kept by the election; hook for subclasses
+
+    def _maybe_repair(self, seq: int) -> None:
+        entry = self._tx_window.get(seq)
+        if entry is None:
+            return  # beyond the trail: cannot repair
+        last = self._recent_repairs.get(seq)
+        if last is not None and self.sim.now - last < self.RDATA_HOLDOFF:
+            return
+        payload_len, payload = entry
+        rdata = RData(self.tsi, seq, self.trail, payload_len, self.sim.now, payload)
+        size = rdata.wire_size()
+        # §3.8: repairs go out as soon as the NAK arrives, subject only
+        # to the rate limiter.
+        delay = self.limiter.delay_until_available(size, self.sim.now)
+        if delay > 0:
+            self.sim.schedule(delay, self._send_rdata, rdata)
+        else:
+            self.limiter.try_consume(size, self.sim.now)
+            self._send_rdata(rdata)
+        self._recent_repairs[seq] = self.sim.now
+        if len(self._recent_repairs) > 512:
+            cutoff = self.sim.now - 10 * self.RDATA_HOLDOFF
+            self._recent_repairs = {
+                s: t for s, t in self._recent_repairs.items() if t >= cutoff
+            }
+
+    def _send_rdata(self, rdata: RData) -> None:
+        if self._closed:
+            return
+        self.host.send(
+            Packet(self.host.name, self.group, rdata.wire_size(), rdata, C.PROTO)
+        )
+        self.rdata_sent += 1
+        self.trace.log(self.sim.now, "rdata", rdata.seq, rdata.payload_len)
+
+    #: log a "window" trace record every this many ACKs (the cwnd
+    #: sawtooth view; seq carries W in hundredths of a packet)
+    WINDOW_SAMPLE_EVERY = 25
+
+    def _handle_ack(self, ack: Ack) -> None:
+        self.acks_received += 1
+        digest = self.controller.on_ack(ack.ack_seq, ack.bitmask, ack.report)
+        self.trace.log(self.sim.now, "ack", ack.ack_seq)
+        if digest.reacted or self.acks_received % self.WINDOW_SAMPLE_EVERY == 0:
+            self.trace.log(
+                self.sim.now, "window", int(self.controller.window.w * 100)
+            )
+        if digest.reacted:
+            self.trace.log(self.sim.now, "cc-loss", ack.ack_seq)
+        self._pump()
+
+    # -- SPM heartbeat ------------------------------------------------------
+
+    def _send_spm(self) -> None:
+        if self._closed:
+            return
+        spm = Spm(self.tsi, self._spm_seq, self.trail, max(self.next_seq - 1, 0),
+                  path=self.host.name)
+        self._spm_seq += 1
+        self.host.send(Packet(self.host.name, self.group, 64, spm, C.PROTO))
+        self._spm_timer.restart(self._spm_ivl)
+
+    def _log_stall(self) -> None:
+        self.trace.log(self.sim.now, "stall", self.next_seq)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def current_acker(self) -> Optional[str]:
+        return self.controller.current_acker
+
+    @property
+    def acker_switches(self) -> int:
+        return self.controller.election.switch_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PgmSender tsi={self.tsi} sent={self.odata_sent} "
+            f"acker={self.current_acker}>"
+        )

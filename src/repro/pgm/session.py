@@ -1,0 +1,226 @@
+"""Session wiring helpers.
+
+Gluing a PGM/pgmcc session onto a simulated :class:`Network` takes a
+few coordinated steps (multicast tree, agents, staggered starts);
+:func:`create_session` does them all, and :func:`add_receiver` supports
+mid-session joins (Fig. 7's 90 late receivers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.sender_cc import CcConfig
+from ..simulator.topology import Network
+from ..simulator.trace import FlowTrace
+from . import constants as C
+from .network_element import PgmNetworkElement
+from .receiver import PgmReceiver
+from .sender import DataSource, PgmSender
+
+
+@dataclass
+class PgmSession:
+    """Handles for one wired-up session."""
+
+    network: Network
+    sender: PgmSender
+    receivers: list[PgmReceiver]
+    group: str
+    tsi: int
+    #: every host (by name) currently subscribed
+    members: list[str] = field(default_factory=list)
+
+    @property
+    def trace(self) -> FlowTrace:
+        return self.sender.trace
+
+    @property
+    def acker_switches(self) -> int:
+        return self.sender.acker_switches
+
+    def receiver(self, rx_id: str) -> PgmReceiver:
+        for rx in self.receivers:
+            if rx.rx_id == rx_id:
+                return rx
+        raise KeyError(rx_id)
+
+    def throughput_bps(self, t0: float, t1: float) -> float:
+        """Sender goodput (original data payload bits/s) over [t0, t1)."""
+        sub = self.trace.between(t0, t1)
+        if t1 <= t0:
+            return 0.0
+        return sub.bytes_sent("data") * 8.0 / (t1 - t0)
+
+    def close(self) -> None:
+        self.sender.close()
+        for rx in self.receivers:
+            rx.close()
+
+    def summary(self) -> dict:
+        """One-call session statistics (for reports and examples)."""
+        controller = self.sender.controller
+        return {
+            "tsi": self.tsi,
+            "group": self.group,
+            "odata_sent": self.sender.odata_sent,
+            "rdata_sent": self.sender.rdata_sent,
+            "bytes_sent": self.sender.bytes_sent,
+            "acks_received": self.sender.acks_received,
+            "naks_received": self.sender.naks_received,
+            "nak_origins": dict(self.sender.nak_origins),
+            "acker": self.sender.current_acker,
+            "acker_switches": self.acker_switches,
+            "stalls": controller.stalls,
+            "window": controller.window.w,
+            "receivers": {
+                rx.rx_id: {
+                    "odata_received": rx.odata_received,
+                    "rdata_received": rx.rdata_received,
+                    "loss_rate": rx.loss_rate,
+                    "delivered": rx.delivered,
+                    "acks_sent": rx.acks_sent,
+                    "naks_sent": rx.naks_sent,
+                }
+                for rx in self.receivers
+            },
+        }
+
+
+def create_session(
+    net: Network,
+    sender_host: str,
+    receiver_hosts: list[str],
+    tsi: Optional[int] = None,
+    group: Optional[str] = None,
+    cc: Optional[CcConfig] = None,
+    source: Optional[DataSource] = None,
+    reliable: bool = True,
+    max_rate_bps: Optional[float] = None,
+    payload_size: int = C.DEFAULT_PAYLOAD,
+    start_at: float = 0.0,
+    stop_at: Optional[float] = None,
+    echo_timestamps: bool = False,
+    trace_name: Optional[str] = None,
+    on_token=None,
+    filter_w: Optional[int] = None,
+    estimator: str = "filter",
+) -> PgmSession:
+    """Create and schedule a full PGM/pgmcc session on ``net``."""
+    if tsi is None:
+        tsi = net.next_tsi()
+    if group is None:
+        group = f"mc:pgm{tsi}"
+    net.set_group(group, sender_host, receiver_hosts)
+
+    trace = FlowTrace(trace_name or f"pgm{tsi}")
+    sender = PgmSender(
+        net.host(sender_host),
+        group,
+        tsi,
+        cc=cc,
+        source=source,
+        max_rate_bps=max_rate_bps,
+        reliable=reliable,
+        trace=trace,
+        on_token=on_token,
+        payload_size=payload_size,
+    )
+    session = PgmSession(net, sender, [], group, tsi, members=list(receiver_hosts))
+    for host_name in receiver_hosts:
+        session.receivers.append(
+            _make_receiver(net, session, host_name, reliable, echo_timestamps,
+                           filter_w, estimator)
+        )
+    if start_at <= 0:
+        # Schedule rather than call so construction order never matters.
+        net.sim.schedule(0.0, sender.start)
+    else:
+        net.sim.schedule_at(start_at, sender.start)
+    if stop_at is not None:
+        net.sim.schedule_at(stop_at, sender.close)
+    return session
+
+
+def _make_receiver(
+    net: Network,
+    session: PgmSession,
+    host_name: str,
+    reliable: bool,
+    echo_timestamps: bool,
+    filter_w: Optional[int],
+    estimator: str = "filter",
+    recover_history: bool = False,
+) -> PgmReceiver:
+    kwargs = {}
+    if filter_w is not None:
+        kwargs["filter_w"] = filter_w
+    return PgmReceiver(
+        net.host(host_name),
+        session.group,
+        session.tsi,
+        source_addr=session.sender.host.name,
+        reliable=reliable,
+        echo_timestamps=echo_timestamps,
+        rng=net.rng.stream(f"rx:{session.tsi}:{host_name}"),
+        estimator=estimator,
+        recover_history=recover_history,
+        **kwargs,
+    )
+
+
+def add_receiver(
+    net: Network,
+    session: PgmSession,
+    host_name: str,
+    at: Optional[float] = None,
+    reliable: bool = True,
+    echo_timestamps: bool = False,
+    estimator: str = "filter",
+    recover_history: bool = False,
+) -> None:
+    """Join ``host_name`` to the session, now or at time ``at``.
+
+    The multicast tree is re-installed for the expanded member set —
+    the simulator analogue of the IGMP join + tree graft a real
+    network performs.
+    """
+
+    def _join() -> None:
+        session.members.append(host_name)
+        net.set_group(session.group, session.sender.host.name, session.members)
+        session.receivers.append(
+            _make_receiver(net, session, host_name, reliable, echo_timestamps,
+                           None, estimator, recover_history)
+        )
+
+    if at is None or at <= net.sim.now:
+        _join()
+    else:
+        net.sim.schedule_at(at, _join)
+
+
+def enable_network_elements(
+    net: Network,
+    router_names: Optional[list[str]] = None,
+    suppress: bool = True,
+    rx_loss_aware: bool = False,
+    selective_repair: bool = True,
+) -> dict[str, PgmNetworkElement]:
+    """Install PGM network elements on the given (default: all) routers."""
+    from ..simulator.node import Router
+
+    if router_names is None:
+        router_names = [
+            name for name, node in net.nodes.items() if isinstance(node, Router)
+        ]
+    elements = {}
+    for name in router_names:
+        elements[name] = PgmNetworkElement(
+            net.router(name),
+            suppress=suppress,
+            rx_loss_aware=rx_loss_aware,
+            selective_repair=selective_repair,
+        )
+    return elements

@@ -1,0 +1,68 @@
+"""Discrete-event network simulator (the ns-2 / dummynet substitute).
+
+Public surface::
+
+    from repro.simulator import (
+        Simulator, Timer, Network, LinkSpec, Link, Packet,
+        NON_LOSSY, LOSSY, ACCESS, dumbbell, star, two_bottleneck,
+    )
+"""
+
+from .engine import Event, Simulator, Timer
+from .link import Link
+from .loss_models import (
+    BernoulliLoss,
+    DeterministicLoss,
+    GilbertElliottLoss,
+    NoLoss,
+    PeriodicLoss,
+)
+from .node import EcmpRouter, Host, Node, Router
+from .packet import MULTICAST_PREFIX, Address, Packet, is_multicast
+from .queues import DropTailQueue, RedQueue
+from .rng import RngRegistry
+from .topology import (
+    ACCESS,
+    LOSSY,
+    NON_LOSSY,
+    LinkSpec,
+    Network,
+    dumbbell,
+    star,
+    two_bottleneck,
+)
+from .trace import FlowTrace, TraceRecord, TraceSet
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Timer",
+    "Link",
+    "BernoulliLoss",
+    "DeterministicLoss",
+    "GilbertElliottLoss",
+    "NoLoss",
+    "PeriodicLoss",
+    "EcmpRouter",
+    "Host",
+    "Node",
+    "Router",
+    "MULTICAST_PREFIX",
+    "Address",
+    "Packet",
+    "is_multicast",
+    "DropTailQueue",
+    "RedQueue",
+    "RngRegistry",
+    "ACCESS",
+    "LOSSY",
+    "NON_LOSSY",
+    "LinkSpec",
+    "Network",
+    "dumbbell",
+    "star",
+    "two_bottleneck",
+    "FlowTrace",
+    "TraceRecord",
+    "TraceSet",
+]

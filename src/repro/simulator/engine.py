@@ -1,0 +1,162 @@
+"""Discrete-event simulation engine.
+
+This is the substrate that plays the role of ns-2 in the paper's
+simulations and of the dummynet testbed in its experiments: a
+heap-driven event loop with deterministic tie-breaking, plus a small
+restartable :class:`Timer` helper used by the protocol agents.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and can be
+    cancelled.  Cancellation is lazy: the heap entry stays in place and
+    is discarded when popped.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        # Tie-break on insertion order so runs are deterministic.
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6f} fn={getattr(self.fn, '__name__', self.fn)}{state}>"
+
+
+class Simulator:
+    """A discrete-event simulator with a monotonically advancing clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, hello)
+        sim.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time:.6f}, clock already at {self.now:.6f}"
+            )
+        ev = Event(time, next(self._counter), fn, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events in time order.
+
+        Stops when the heap is exhausted, when the next event lies past
+        ``until`` (the clock is then advanced to ``until``), when
+        ``max_events`` have been processed, or when :meth:`stop` is
+        called from inside a callback.
+        """
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._heap and not self._stopped:
+                if max_events is not None and processed >= max_events:
+                    break
+                ev = self._heap[0]
+                if until is not None and ev.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if ev.cancelled:
+                    continue
+                self.now = ev.time
+                ev.fn(*ev.args)
+                processed += 1
+                self.events_processed += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+
+    def stop(self) -> None:
+        """Stop the run loop after the current callback returns."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+
+class Timer:
+    """A restartable one-shot timer bound to a simulator.
+
+    Protocols use this for retransmission timeouts, NAK backoffs and
+    stall detection.  ``restart`` supersedes any pending expiry.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]):
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute time at which the timer will fire, or ``None``."""
+        return self._event.time if self.armed else None
+
+    def start(self, delay: float) -> None:
+        """Arm the timer.  Raises if already armed."""
+        if self.armed:
+            raise RuntimeError("timer already armed; use restart()")
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def restart(self, delay: float) -> None:
+        """Arm the timer, cancelling any pending expiry first."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

@@ -1,0 +1,142 @@
+"""Point-to-point links: the dummynet pipe equivalent.
+
+A :class:`Link` is unidirectional and models exactly what the paper's
+emulated bottlenecks did: a fixed capacity (serialisation delay
+``size * 8 / rate``), a fixed one-way propagation delay, a FIFO queue
+(slot- or byte-limited) and an optional random-loss stage.
+
+Random loss is applied on ingress, before queueing, as dummynet's
+``plr`` does — a randomly lost packet consumes no link bandwidth.
+Queue drops happen when the packet arrives while the transmitter is
+busy and the queue will not accept it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .engine import Simulator
+from .loss_models import LossModel, NoLoss
+from .packet import Packet
+from .queues import DropTailQueue
+
+#: Signature of a link delivery target: ``fn(packet)``.
+DeliverFn = Callable[[Packet], None]
+#: Signature of link observers: ``fn(time, event, packet)``.
+ObserverFn = Callable[[float, str, Packet], None]
+
+
+class Link:
+    """A unidirectional rate/delay/queue/loss pipe.
+
+    Args:
+        sim: the event engine.
+        name: label used in traces ("L1", "r0->s0", ...).
+        rate_bps: capacity in bits per second.
+        delay: one-way propagation delay in seconds.
+        queue: output queue; defaults to a 30-slot drop-tail FIFO
+            (the paper's most common configuration).
+        loss: random-loss model applied on ingress.
+        deliver: callback invoked with each packet that survives, one
+            propagation delay after its serialisation completes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bps: float,
+        delay: float,
+        deliver: Optional[DeliverFn] = None,
+        queue: Optional[DropTailQueue] = None,
+        loss: Optional[LossModel] = None,
+    ):
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.delay = delay
+        self.queue = queue if queue is not None else DropTailQueue(max_slots=30)
+        self.loss = loss if loss is not None else NoLoss()
+        self.deliver = deliver
+        self._busy = False
+        self._observers: list[ObserverFn] = []
+        # Counters for analysis and assertions.
+        self.sent = 0
+        self.delivered = 0
+        self.random_drops = 0
+        self.bytes_delivered = 0
+
+    # -- wiring ----------------------------------------------------------
+
+    def connect(self, deliver: DeliverFn) -> None:
+        """Set (or replace) the delivery target."""
+        self.deliver = deliver
+
+    def add_observer(self, fn: ObserverFn) -> None:
+        """Observe link events: "send", "drop-loss", "drop-queue", "deliver"."""
+        self._observers.append(fn)
+
+    def _notify(self, event: str, packet: Packet) -> None:
+        for fn in self._observers:
+            fn(self.sim.now, event, packet)
+
+    # -- data path ---------------------------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Offer a packet to the link.  Returns False if it was dropped."""
+        self.sent += 1
+        self._notify("send", packet)
+        if self.loss.should_drop(packet):
+            self.random_drops += 1
+            self._notify("drop-loss", packet)
+            return False
+        if self._busy:
+            if not self.queue.offer(packet):
+                self._notify("drop-queue", packet)
+                return False
+            return True
+        self._start_transmission(packet)
+        return True
+
+    def _start_transmission(self, packet: Packet) -> None:
+        self._busy = True
+        tx_time = packet.size * 8.0 / self.rate_bps
+        self.sim.schedule(tx_time, self._transmission_done, packet)
+
+    def _transmission_done(self, packet: Packet) -> None:
+        self.sim.schedule(self.delay, self._deliver, packet)
+        nxt = self.queue.pop()
+        if nxt is not None:
+            self._start_transmission(nxt)
+        else:
+            self._busy = False
+
+    def _deliver(self, packet: Packet) -> None:
+        self.delivered += 1
+        self.bytes_delivered += packet.size
+        self._notify("deliver", packet)
+        if self.deliver is not None:
+            self.deliver(packet)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def queue_drops(self) -> int:
+        return self.queue.drops
+
+    @property
+    def utilization_bps(self) -> float:
+        """Average delivered goodput since t=0 (bits per second)."""
+        if self.sim.now <= 0:
+            return 0.0
+        return self.bytes_delivered * 8.0 / self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Link {self.name} {self.rate_bps / 1000:.0f}kbit/s "
+            f"{self.delay * 1000:.0f}ms q={len(self.queue)}>"
+        )

@@ -1,0 +1,216 @@
+"""Hosts and routers.
+
+A :class:`Node` owns outgoing :class:`~repro.simulator.link.Link`
+objects keyed by neighbour name.  :class:`Host` nodes terminate
+traffic and run protocol agents; :class:`Router` nodes forward using
+the unicast/multicast tables installed by
+:class:`~repro.simulator.topology.Network`.
+
+PGM network elements hook into routers through the
+:class:`PacketInterceptor` interface, so the plain forwarding plane
+stays protocol-agnostic (the paper's incremental-deployment property:
+everything must also work through routers with no PGM support).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from .engine import Simulator
+from .link import Link
+from .packet import Address, Packet, is_multicast
+
+
+class PacketInterceptor(Protocol):
+    """Router-resident protocol logic (e.g. a PGM network element).
+
+    ``intercept`` returns True when it consumed the packet (possibly
+    re-emitting others); False lets the router forward it normally.
+    """
+
+    def intercept(self, packet: Packet, from_node: str) -> bool:  # pragma: no cover
+        ...
+
+
+class Agent(Protocol):
+    """A protocol endpoint living on a host."""
+
+    def handle_packet(self, packet: Packet) -> None:  # pragma: no cover
+        ...
+
+
+class Node:
+    """Base class holding links and forwarding state."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        #: outgoing links keyed by neighbour node name
+        self.links: dict[str, Link] = {}
+        #: unicast forwarding: destination host -> next-hop neighbour
+        self.unicast_routes: dict[Address, str] = {}
+        #: multicast forwarding: group -> set of downstream neighbours
+        self.multicast_routes: dict[Address, set[str]] = {}
+        self.packets_forwarded = 0
+        self.packets_dropped_no_route = 0
+
+    def attach_link(self, neighbor: str, link: Link) -> None:
+        """Register the outgoing link towards ``neighbor``."""
+        if neighbor in self.links:
+            raise ValueError(f"{self.name}: duplicate link to {neighbor}")
+        self.links[neighbor] = link
+
+    def receive(self, packet: Packet, from_node: str) -> None:
+        raise NotImplementedError
+
+    # -- transmission helpers -------------------------------------------
+
+    def send_via(self, neighbor: str, packet: Packet) -> bool:
+        """Transmit on the link to ``neighbor``; False if dropped/missing."""
+        link = self.links.get(neighbor)
+        if link is None:
+            self.packets_dropped_no_route += 1
+            return False
+        return link.send(packet)
+
+    def unicast_next_hop(self, dst: Address) -> Optional[str]:
+        return self.unicast_routes.get(dst)
+
+    def forward_unicast(self, packet: Packet) -> bool:
+        """Send towards ``packet.dst`` using the unicast table."""
+        nh = self.unicast_next_hop(packet.dst)
+        if nh is None:
+            self.packets_dropped_no_route += 1
+            return False
+        return self.send_via(nh, packet)
+
+    def forward_multicast(self, packet: Packet, from_node: Optional[str]) -> int:
+        """Replicate ``packet`` to every downstream branch of its group.
+
+        Returns the number of copies transmitted.  The arrival branch is
+        excluded (split-horizon) so the tree stays loop-free.
+        """
+        branches = self.multicast_routes.get(packet.dst, ())
+        copies = 0
+        for neighbor in branches:
+            if neighbor == from_node:
+                continue
+            if self.send_via(neighbor, packet):
+                copies += 1
+        return copies
+
+
+class Host(Node):
+    """An end host: terminates unicast traffic, joins multicast groups,
+    and dispatches packets to protocol agents by ``packet.proto``."""
+
+    def __init__(self, sim: Simulator, name: str):
+        super().__init__(sim, name)
+        self.groups: set[Address] = set()
+        self._agents: dict[str, Agent] = {}
+        self.packets_received = 0
+
+    def join_group(self, group: Address) -> None:
+        if not is_multicast(group):
+            raise ValueError(f"{group} is not a multicast address")
+        self.groups.add(group)
+
+    def leave_group(self, group: Address) -> None:
+        self.groups.discard(group)
+
+    def register_agent(self, proto: str, agent: Agent) -> None:
+        if proto in self._agents:
+            raise ValueError(f"{self.name}: agent for {proto!r} already registered")
+        self._agents[proto] = agent
+
+    def unregister_agent(self, proto: str) -> None:
+        self._agents.pop(proto, None)
+
+    # -- data path -------------------------------------------------------
+
+    def receive(self, packet: Packet, from_node: str) -> None:
+        local = packet.dst == self.name or (
+            is_multicast(packet.dst) and packet.dst in self.groups
+        )
+        if not local:
+            # Hosts are not transit nodes; stray packets are dropped.
+            self.packets_dropped_no_route += 1
+            return
+        self.packets_received += 1
+        agent = self._agents.get(packet.proto)
+        if agent is not None:
+            agent.handle_packet(packet)
+
+    def send(self, packet: Packet) -> bool:
+        """Originate a packet: stamp creation time and route it out."""
+        packet.created_at = self.sim.now
+        if is_multicast(packet.dst):
+            return self.forward_multicast(packet, from_node=None) > 0
+        return self.forward_unicast(packet)
+
+
+class Router(Node):
+    """A transit node.  Optionally hosts a protocol interceptor
+    (our PGM network element) that sees packets before forwarding."""
+
+    def __init__(self, sim: Simulator, name: str):
+        super().__init__(sim, name)
+        self.interceptor: Optional[PacketInterceptor] = None
+
+    def set_interceptor(self, interceptor: PacketInterceptor) -> None:
+        self.interceptor = interceptor
+
+    def receive(self, packet: Packet, from_node: str) -> None:
+        packet.hops += 1
+        if packet.hops > Packet.MAX_HOPS:
+            # Forwarding loop safety net; topologies are trees in all
+            # experiments so this should never trigger.
+            self.packets_dropped_no_route += 1
+            return
+        if self.interceptor is not None and self.interceptor.intercept(packet, from_node):
+            return
+        self.packets_forwarded += 1
+        if is_multicast(packet.dst):
+            self.forward_multicast(packet, from_node)
+        else:
+            self.forward_unicast(packet)
+
+
+class EcmpRouter(Router):
+    """A router that sprays packets round-robin over parallel paths.
+
+    Used to rebuild the paper's multipath robustness experiments (§4:
+    "topologies presenting multiple paths between sender and receiver
+    ... to verify the robustness of the scheme to out-of-order data or
+    ACK delivery").  Per-packet round robin over unequal-delay paths is
+    the worst case for reordering, which is exactly what those tests
+    need.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        super().__init__(sim, name)
+        #: destination (or multicast group) -> parallel next hops
+        self.ecmp_groups: dict[Address, list[str]] = {}
+        self._rr: dict[Address, int] = {}
+
+    def set_ecmp(self, dst: Address, next_hops: list[str]) -> None:
+        if len(next_hops) < 2:
+            raise ValueError("ECMP needs at least two next hops")
+        self.ecmp_groups[dst] = list(next_hops)
+        self._rr[dst] = 0
+
+    def _spray(self, packet: Packet) -> bool:
+        hops = self.ecmp_groups[packet.dst]
+        index = self._rr[packet.dst]
+        self._rr[packet.dst] = (index + 1) % len(hops)
+        return self.send_via(hops[index], packet)
+
+    def forward_unicast(self, packet: Packet) -> bool:
+        if packet.dst in self.ecmp_groups:
+            return self._spray(packet)
+        return super().forward_unicast(packet)
+
+    def forward_multicast(self, packet: Packet, from_node: Optional[str]) -> int:
+        if packet.dst in self.ecmp_groups:
+            return 1 if self._spray(packet) else 0
+        return super().forward_multicast(packet, from_node)

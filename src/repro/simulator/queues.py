@@ -1,0 +1,117 @@
+"""Link output queues.
+
+The paper's bottlenecks are FIFO queues limited either in *slots*
+(e.g. "30 queue slots") or in *bytes* (e.g. "30 KBytes queue"); both
+appear in §4, so both limits are supported.  A drop-tail discipline is
+what dummynet and the ns-2 scripts of the era used; a RED variant is
+included for ablations on queue management.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Optional
+
+from .packet import Packet
+
+
+class DropTailQueue:
+    """FIFO queue with a slot limit, a byte limit, or both.
+
+    ``None`` for a limit means unconstrained in that dimension.  At
+    least one limit must be given (an infinite queue hides congestion
+    entirely and is almost always a configuration error).
+    """
+
+    def __init__(self, max_slots: Optional[int] = None, max_bytes: Optional[int] = None):
+        if max_slots is None and max_bytes is None:
+            raise ValueError("queue needs a slot limit, a byte limit, or both")
+        if max_slots is not None and max_slots < 1:
+            raise ValueError("max_slots must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_slots = max_slots
+        self.max_bytes = max_bytes
+        self._queue: deque[Packet] = deque()
+        self.bytes_queued = 0
+        self.drops = 0
+        self.enqueues = 0
+        self.peak_bytes = 0
+        self.peak_slots = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def would_accept(self, packet: Packet) -> bool:
+        """True if ``packet`` fits under both limits right now."""
+        if self.max_slots is not None and len(self._queue) >= self.max_slots:
+            return False
+        if self.max_bytes is not None and self.bytes_queued + packet.size > self.max_bytes:
+            return False
+        return True
+
+    def offer(self, packet: Packet) -> bool:
+        """Enqueue ``packet`` if it fits; return whether it was accepted."""
+        if not self.would_accept(packet):
+            self.drops += 1
+            return False
+        self._queue.append(packet)
+        self.bytes_queued += packet.size
+        self.enqueues += 1
+        self.peak_bytes = max(self.peak_bytes, self.bytes_queued)
+        self.peak_slots = max(self.peak_slots, len(self._queue))
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        """Dequeue the head packet, or ``None`` if empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self.bytes_queued -= packet.size
+        return packet
+
+    def clear(self) -> None:
+        self._queue.clear()
+        self.bytes_queued = 0
+
+
+class RedQueue(DropTailQueue):
+    """Random Early Detection on top of the FIFO structure.
+
+    Drops probabilistically once the EWMA of the queue occupancy (in
+    slots) exceeds ``min_th``, with probability ramping to ``max_p`` at
+    ``max_th``; above ``max_th`` everything is dropped.  Only used by
+    ablation benches — the paper's experiments are all drop-tail.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        max_slots: int,
+        min_th: float,
+        max_th: float,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+    ):
+        super().__init__(max_slots=max_slots)
+        if not 0 < min_th < max_th <= max_slots:
+            raise ValueError("need 0 < min_th < max_th <= max_slots")
+        self._rng = rng
+        self.min_th = min_th
+        self.max_th = max_th
+        self.max_p = max_p
+        self.weight = weight
+        self.avg = 0.0
+
+    def offer(self, packet: Packet) -> bool:
+        self.avg = (1 - self.weight) * self.avg + self.weight * len(self._queue)
+        if self.avg >= self.max_th:
+            self.drops += 1
+            return False
+        if self.avg > self.min_th:
+            p = self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
+            if self._rng.random() < p:
+                self.drops += 1
+                return False
+        return super().offer(packet)

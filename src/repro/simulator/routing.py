@@ -1,0 +1,80 @@
+"""Route computation.
+
+Unicast routing installs static shortest-path next hops (weighted by
+propagation delay, with a small per-hop bias so equal-delay paths
+prefer fewer hops).  Multicast routing installs a source-rooted
+shortest-path tree for each (group, source) pair — the same structure
+IP multicast (DVMRP/PIM) would build over these topologies, and the
+one the paper's ns-2 scenarios assume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from .node import Node
+
+#: Per-hop additive bias in the path metric; keeps paths minimal-hop
+#: among equal-delay alternatives without affecting real comparisons.
+HOP_BIAS = 1e-9
+
+
+def build_graph(nodes: Mapping[str, Node], delays: Mapping[tuple[str, str], float]) -> nx.DiGraph:
+    """Build a directed graph of the topology.
+
+    ``delays`` maps directed edges (u, v) to the propagation delay of
+    the u->v link; edge weight is delay + HOP_BIAS.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(nodes)
+    for (u, v), delay in delays.items():
+        graph.add_edge(u, v, weight=delay + HOP_BIAS)
+    return graph
+
+
+def install_unicast_routes(graph: nx.DiGraph, nodes: Mapping[str, Node]) -> None:
+    """Install next-hop entries for every reachable destination at
+    every node.  Overwrites existing unicast tables."""
+    for src in nodes:
+        paths = nx.single_source_dijkstra_path(graph, src, weight="weight")
+        table: dict[str, str] = {}
+        for dst, path in paths.items():
+            if dst == src or len(path) < 2:
+                continue
+            table[dst] = path[1]
+    # note: installed below so partially-computed tables never leak
+        nodes[src].unicast_routes = table
+
+
+def compute_multicast_tree(
+    graph: nx.DiGraph, source: str, members: Iterable[str]
+) -> dict[str, set[str]]:
+    """Union of shortest paths from ``source`` to each member.
+
+    Returns, for every on-tree node, the set of downstream neighbours
+    to which group traffic must be replicated.
+    """
+    downstream: dict[str, set[str]] = {}
+    for member in members:
+        if member == source:
+            continue
+        path = nx.dijkstra_path(graph, source, member, weight="weight")
+        for u, v in zip(path, path[1:]):
+            downstream.setdefault(u, set()).add(v)
+    return downstream
+
+
+def install_multicast_tree(
+    graph: nx.DiGraph,
+    nodes: Mapping[str, Node],
+    group: str,
+    source: str,
+    members: Iterable[str],
+) -> dict[str, set[str]]:
+    """Compute and install the tree; returns the downstream map."""
+    tree = compute_multicast_tree(graph, source, members)
+    for name, node in nodes.items():
+        node.multicast_routes[group] = set(tree.get(name, ()))
+    return tree

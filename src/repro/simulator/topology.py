@@ -1,0 +1,252 @@
+"""Topology construction.
+
+:class:`Network` is the top-level container an experiment builds: it
+owns the simulator, the nodes, the links, and the derived routing
+state.  :class:`LinkSpec` captures the paper's per-link knobs (rate,
+propagation delay, queue size in slots or bytes, random loss), i.e.
+exactly a dummynet pipe configuration.
+
+Canned builders cover the §4 topologies: a dumbbell (Figs. 3, 4, 6), a
+two-bottleneck tree (Fig. 5) and a star of independent links (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .engine import Simulator
+from .link import Link
+from .loss_models import BernoulliLoss, LossModel, NoLoss
+from .node import Host, Node, Router
+from .packet import Address
+from .queues import DropTailQueue
+from .rng import RngRegistry
+from . import routing
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A dummynet-style pipe configuration.
+
+    Exactly one of ``queue_slots`` / ``queue_bytes`` is normally set;
+    setting neither gives the paper's default of 30 slots.
+    """
+
+    rate_bps: float
+    delay: float
+    queue_slots: Optional[int] = None
+    queue_bytes: Optional[int] = None
+    loss_rate: float = 0.0
+
+    def make_queue(self) -> DropTailQueue:
+        if self.queue_slots is None and self.queue_bytes is None:
+            return DropTailQueue(max_slots=30)
+        return DropTailQueue(max_slots=self.queue_slots, max_bytes=self.queue_bytes)
+
+    def make_loss(self, rng) -> LossModel:
+        if self.loss_rate > 0.0:
+            return BernoulliLoss(self.loss_rate, rng)
+        return NoLoss()
+
+
+#: The paper's two canonical bottleneck configurations (§4):
+#: non-lossy: 500 kbit/s, 50 ms, 30 slots — drops only from congestion.
+NON_LOSSY = LinkSpec(rate_bps=500_000, delay=0.050, queue_slots=30)
+#: lossy: 2 Mbit/s, 230 ms, 30 KB queue, 3 % random loss.
+LOSSY = LinkSpec(rate_bps=2_000_000, delay=0.230, queue_bytes=30_000, loss_rate=0.03)
+
+#: Fast access links used for non-bottleneck edges.
+ACCESS = LinkSpec(rate_bps=100_000_000, delay=0.0005, queue_slots=1000)
+
+
+class Network:
+    """A simulated network: nodes + links + routing.
+
+    Call :meth:`build_routes` once the topology is wired; multicast
+    trees are installed per (group, source) with :meth:`set_group`.
+    """
+
+    def __init__(self, sim: Optional[Simulator] = None, seed: int = 0):
+        self.sim = sim if sim is not None else Simulator()
+        self.rng = RngRegistry(seed)
+        self.nodes: dict[str, Node] = {}
+        self.link_delays: dict[tuple[str, str], float] = {}
+        self._graph = None
+        # Per-network id counters so identically constructed networks
+        # produce identical protocol ids (and thus identical derived
+        # RNG streams) run after run.
+        self._tsi_counter = 0
+        self._flow_counter = 0
+
+    def next_tsi(self) -> int:
+        self._tsi_counter += 1
+        return self._tsi_counter
+
+    def next_flow_id(self) -> int:
+        self._flow_counter += 1
+        return self._flow_counter
+
+    # -- construction ------------------------------------------------------
+
+    def add_host(self, name: str) -> Host:
+        return self._add(Host(self.sim, name))
+
+    def add_router(self, name: str) -> Router:
+        return self._add(Router(self.sim, name))
+
+    def add_ecmp_router(self, name: str):
+        from .node import EcmpRouter
+
+        return self._add(EcmpRouter(self.sim, name))
+
+    def _add(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        self._graph = None
+        return node
+
+    def host(self, name: str) -> Host:
+        node = self.nodes[name]
+        if not isinstance(node, Host):
+            raise TypeError(f"{name} is not a Host")
+        return node
+
+    def router(self, name: str) -> Router:
+        node = self.nodes[name]
+        if not isinstance(node, Router):
+            raise TypeError(f"{name} is not a Router")
+        return node
+
+    def simplex_link(self, a: str, b: str, spec: LinkSpec) -> Link:
+        """Create the unidirectional a->b link."""
+        src, dst = self.nodes[a], self.nodes[b]
+        name = f"{a}->{b}"
+        link = Link(
+            self.sim,
+            name,
+            rate_bps=spec.rate_bps,
+            delay=spec.delay,
+            queue=spec.make_queue(),
+            loss=spec.make_loss(self.rng.stream(f"loss:{name}")),
+        )
+        link.connect(lambda packet, _dst=dst, _from=a: _dst.receive(packet, _from))
+        src.attach_link(b, link)
+        self.link_delays[(a, b)] = spec.delay
+        self._graph = None
+        return link
+
+    def duplex_link(
+        self, a: str, b: str, spec: LinkSpec, reverse_spec: Optional[LinkSpec] = None
+    ) -> tuple[Link, Link]:
+        """Create links both ways; ``reverse_spec`` defaults to ``spec``."""
+        forward = self.simplex_link(a, b, spec)
+        backward = self.simplex_link(b, a, reverse_spec if reverse_spec else spec)
+        return forward, backward
+
+    def link(self, a: str, b: str) -> Link:
+        return self.nodes[a].links[b]
+
+    # -- routing -----------------------------------------------------------
+
+    def graph(self):
+        if self._graph is None:
+            self._graph = routing.build_graph(self.nodes, self.link_delays)
+        return self._graph
+
+    def build_routes(self) -> None:
+        """(Re)compute unicast next hops everywhere."""
+        routing.install_unicast_routes(self.graph(), self.nodes)
+
+    def set_group(self, group: Address, source: str, members: list[str]) -> None:
+        """Install the multicast tree for ``group`` rooted at ``source``
+        and subscribe the member hosts."""
+        routing.install_multicast_tree(self.graph(), self.nodes, group, source, members)
+        for member in members:
+            self.host(member).join_group(group)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+
+# ---------------------------------------------------------------------------
+# Canned topologies for the paper's experiments
+# ---------------------------------------------------------------------------
+
+
+def dumbbell(
+    n_left: int,
+    n_right: int,
+    bottleneck: LinkSpec,
+    access: LinkSpec = ACCESS,
+    seed: int = 0,
+) -> Network:
+    """``n_left`` hosts -- R0 ==bottleneck== R1 -- ``n_right`` hosts.
+
+    Hosts are named ``h0..`` on the left and ``r0..`` on the right.
+    The bottleneck applies in both directions (ACK path shares it, as
+    in the paper's testbed).
+    """
+    net = Network(seed=seed)
+    net.add_router("R0")
+    net.add_router("R1")
+    for i in range(n_left):
+        net.add_host(f"h{i}")
+        net.duplex_link(f"h{i}", "R0", access)
+    for i in range(n_right):
+        net.add_host(f"r{i}")
+        net.duplex_link("R1", f"r{i}", access)
+    net.duplex_link("R0", "R1", bottleneck)
+    net.build_routes()
+    return net
+
+
+def star(
+    n_leaves: int,
+    leaf_spec: LinkSpec,
+    access: LinkSpec = ACCESS,
+    seed: int = 0,
+) -> Network:
+    """One source host ``src`` behind router ``R0``, with ``n_leaves``
+    receivers each behind its own independent link (Fig. 7)."""
+    net = Network(seed=seed)
+    net.add_host("src")
+    net.add_router("R0")
+    net.duplex_link("src", "R0", access)
+    for i in range(n_leaves):
+        net.add_host(f"r{i}")
+        net.duplex_link("R0", f"r{i}", leaf_spec)
+    net.build_routes()
+    return net
+
+
+def two_bottleneck(
+    l1: LinkSpec,
+    l2: LinkSpec,
+    access: LinkSpec = ACCESS,
+    seed: int = 0,
+) -> Network:
+    """The Fig. 5 topology::
+
+        src -- R0 ==L1== R1 -- pr1
+                \\=L2== R2 -- pr2, tr   (TCP receiver shares L2)
+
+    with the TCP sender ``ts`` co-located with ``src`` behind R0.
+    """
+    net = Network(seed=seed)
+    for host in ("src", "ts", "pr1", "pr2", "tr"):
+        net.add_host(host)
+    for router in ("R0", "R1", "R2"):
+        net.add_router(router)
+    net.duplex_link("src", "R0", access)
+    net.duplex_link("ts", "R0", access)
+    net.duplex_link("R0", "R1", l1)
+    net.duplex_link("R0", "R2", l2)
+    net.duplex_link("R1", "pr1", access)
+    net.duplex_link("R2", "pr2", access)
+    net.duplex_link("R2", "tr", access)
+    net.build_routes()
+    return net

@@ -1,0 +1,93 @@
+"""Packet tracing.
+
+The paper's figures are time/sequence-number plots logged at the sender
+side of the bottleneck.  :class:`FlowTrace` collects the same records —
+(time, kind, sequence, bytes) — from which the analysis package derives
+the time-seq series, binned bandwidth curves and event counts the
+benches compare against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One logged protocol event."""
+
+    time: float
+    kind: str  # "data", "rdata", "ack", "nak", "acker-switch", "loss", ...
+    seq: int
+    nbytes: int = 0
+
+
+@dataclass
+class FlowTrace:
+    """Event log for one flow (a PGM session or a TCP connection)."""
+
+    name: str
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def log(self, time: float, kind: str, seq: int, nbytes: int = 0) -> None:
+        self.records.append(TraceRecord(time, kind, seq, nbytes))
+
+    # -- selection helpers -------------------------------------------------
+
+    def of_kind(self, *kinds: str) -> list[TraceRecord]:
+        wanted = set(kinds)
+        return [r for r in self.records if r.kind in wanted]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for r in self.records if r.kind == kind)
+
+    def times(self, kind: str) -> list[float]:
+        return [r.time for r in self.records if r.kind == kind]
+
+    def between(self, t0: float, t1: float) -> "FlowTrace":
+        """Sub-trace restricted to t0 <= time < t1."""
+        sub = FlowTrace(self.name)
+        sub.records = [r for r in self.records if t0 <= r.time < t1]
+        return sub
+
+    # -- derived series -------------------------------------------------------
+
+    def time_seq(self, kind: str = "data") -> list[tuple[float, int]]:
+        """The paper's time/sequence plot for one event kind."""
+        return [(r.time, r.seq) for r in self.records if r.kind == kind]
+
+    def bytes_sent(self, kind: str = "data") -> int:
+        return sum(r.nbytes for r in self.records if r.kind == kind)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class TraceSet:
+    """Named collection of flow traces for one experiment."""
+
+    def __init__(self) -> None:
+        self._traces: dict[str, FlowTrace] = {}
+
+    def flow(self, name: str) -> FlowTrace:
+        trace = self._traces.get(name)
+        if trace is None:
+            trace = FlowTrace(name)
+            self._traces[name] = trace
+        return trace
+
+    def names(self) -> list[str]:
+        return sorted(self._traces)
+
+    def __getitem__(self, name: str) -> FlowTrace:
+        return self._traces[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._traces
+
+    def items(self) -> Iterable[tuple[str, FlowTrace]]:
+        return self._traces.items()

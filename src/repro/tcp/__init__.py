@@ -1,0 +1,24 @@
+"""TCP Reno/NewReno baseline.
+
+Public surface::
+
+    from repro.tcp import TcpSender, TcpReceiver, TcpFlow, create_tcp_flow
+"""
+
+from .packets import DEFAULT_PAYLOAD, HEADER_SIZE, PROTO, TcpAck, TcpSegment
+from .receiver import TcpReceiver
+from .sender import TcpSender
+from .session import TcpFlow, TcpHostAgent, create_tcp_flow
+
+__all__ = [
+    "DEFAULT_PAYLOAD",
+    "HEADER_SIZE",
+    "PROTO",
+    "TcpAck",
+    "TcpSegment",
+    "TcpReceiver",
+    "TcpSender",
+    "TcpFlow",
+    "TcpHostAgent",
+    "create_tcp_flow",
+]

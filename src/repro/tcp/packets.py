@@ -1,0 +1,41 @@
+"""TCP segment and ACK objects for the simulated baseline.
+
+Sequence numbers count *segments*, not bytes (every data segment in
+the experiments carries a full payload, 1460 bytes as in the paper);
+analysis converts to byte sequence numbers when comparing slopes with
+pgmcc flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: simulator protocol tag
+PROTO = "tcp"
+#: TCP/IP header overhead per segment (bytes)
+HEADER_SIZE = 40
+#: the paper's TCP payload size
+DEFAULT_PAYLOAD = 1460
+
+
+@dataclass
+class TcpSegment:
+    """One data segment."""
+
+    flow_id: int
+    seq: int  # segment index
+    payload_len: int
+
+    def wire_size(self) -> int:
+        return self.payload_len + HEADER_SIZE
+
+
+@dataclass
+class TcpAck:
+    """A cumulative acknowledgement: ``ackno`` = next expected segment."""
+
+    flow_id: int
+    ackno: int
+
+    def wire_size(self) -> int:
+        return HEADER_SIZE

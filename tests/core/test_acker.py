@@ -1,0 +1,137 @@
+"""Tests for acker election and tracking (§3.5)."""
+
+import pytest
+
+from repro.core.acker import LOSS_FLOOR, AckerElection, throughput_metric
+from repro.core.reports import ReceiverReport
+
+
+def report(rx_id, rxw_lead, rx_loss):
+    return ReceiverReport(rx_id, rxw_lead, rx_loss)
+
+
+class TestMetric:
+    def test_rtt_squared_times_p(self):
+        """The sender compares RTT²·p (cheaper than 1/(RTT·sqrt(p)))."""
+        assert throughput_metric(10.0, 100) == 10_000.0
+
+    def test_loss_floored(self):
+        assert throughput_metric(10.0, 0) == 100.0 * LOSS_FLOOR
+
+    def test_slower_receiver_has_bigger_metric(self):
+        fast = throughput_metric(5.0, 50)
+        slow = throughput_metric(20.0, 200)
+        assert slow > fast
+
+
+class TestElectionBasics:
+    def test_c_validation(self):
+        with pytest.raises(ValueError):
+            AckerElection(c=0.0)
+        with pytest.raises(ValueError):
+            AckerElection(c=1.5)
+
+    def test_first_report_elected_unconditionally(self):
+        """The startup fake NAK must seed an acker (§3.6)."""
+        election = AckerElection()
+        assert election.current is None
+        switched = election.on_nak_report(report("r1", 0, 0), last_tx_seq=0, now=0.0)
+        assert switched
+        assert election.current == "r1"
+
+    def test_incumbent_report_updates_not_switches(self):
+        election = AckerElection()
+        election.on_nak_report(report("r1", 0, 100), 10, 0.0)
+        switched = election.on_nak_report(report("r1", 5, 500), 20, 1.0)
+        assert not switched
+        assert election.current == "r1"
+        # state was refreshed
+        assert election.incumbent_metric == pytest.approx(
+            election.model.slowness(election._incumbent.rtt.value, 500)
+        )
+
+    def test_clear(self):
+        election = AckerElection()
+        election.on_nak_report(report("r1", 0, 0), 0, 0.0)
+        election.clear()
+        assert election.current is None
+
+
+class TestSwitchDecision:
+    def setup_incumbent(self, election, rtt=10, loss=100):
+        """Install r1 with a known metric (rtt via lead gap)."""
+        election.on_nak_report(report("r1", 100 - rtt, loss), 100, 0.0)
+
+    def test_switch_to_clearly_slower(self):
+        election = AckerElection(c=0.75)
+        self.setup_incumbent(election, rtt=10, loss=100)
+        # candidate rtt 40, loss 400: metric 640000 vs incumbent 10000
+        switched = election.on_nak_report(report("r2", 60, 400), 100, 1.0)
+        assert switched
+        assert election.current == "r2"
+
+    def test_no_switch_to_faster(self):
+        election = AckerElection(c=0.75)
+        self.setup_incumbent(election, rtt=20, loss=400)
+        switched = election.on_nak_report(report("r2", 95, 10), 100, 1.0)
+        assert not switched
+        assert election.candidates_rejected == 1
+
+    def test_bias_c_suppresses_marginal_switches(self):
+        """Equal-throughput receivers must not swap at c<1 (§3.5: the
+        paper's Fig. 4 experiment at c=1 vs 0.75)."""
+        noisy = AckerElection(c=1.0)
+        biased = AckerElection(c=0.75)
+        for election in (noisy, biased):
+            election.on_nak_report(report("r1", 90, 100), 100, 0.0)
+        # candidate marginally worse: rtt 11 vs 10, same loss
+        marginal = report("r2", 89, 100)
+        assert noisy.on_nak_report(marginal, 100, 1.0)
+        assert not biased.on_nak_report(marginal, 100, 1.0)
+
+    def test_switch_threshold_exact(self):
+        """Switch iff M_j * c² > M_i."""
+        election = AckerElection(c=0.5)
+        self.setup_incumbent(election, rtt=10, loss=100)  # M_i = 10000
+        # boundary: M_j * 0.25 == 10000 -> M_j == 40000 -> no switch
+        boundary = report("r2", 80, 100)  # rtt 20 -> 40000
+        assert not election.on_nak_report(boundary, 100, 1.0)
+        over = report("r3", 79, 100)  # rtt 21 -> 44100 * 0.25 > 10000
+        assert election.on_nak_report(over, 100, 1.0)
+
+    def test_switch_history_recorded(self):
+        election = AckerElection(c=1.0)
+        election.on_nak_report(report("r1", 90, 100), 100, 1.0)
+        election.on_nak_report(report("r2", 50, 800), 100, 2.0)
+        assert election.switch_count == 2
+        last = election.switches[-1]
+        assert (last.old, last.new, last.time) == ("r1", "r2", 2.0)
+
+    def test_loss_free_candidate_rarely_wins(self):
+        """A zero-loss candidate needs an enormous RTT to beat a lossy
+        incumbent (the loss floor keeps its metric tiny)."""
+        election = AckerElection(c=0.75)
+        self.setup_incumbent(election, rtt=10, loss=1000)  # M=100000
+        assert not election.on_nak_report(report("r2", 0, 0), 100, 1.0)  # rtt100, M=10000
+
+
+class TestAckRefresh:
+    def test_ack_report_smooths_rtt(self):
+        election = AckerElection(rtt_gain=0.5)
+        election.on_nak_report(report("r1", 90, 100), 100, 0.0)  # rtt 10
+        election.on_ack_report(report("r1", 80, 100), 100, 1.0)  # rtt 20
+        assert election._incumbent.rtt.value == pytest.approx(15.0)
+
+    def test_ack_from_non_incumbent_ignored(self):
+        election = AckerElection()
+        election.on_nak_report(report("r1", 90, 100), 100, 0.0)
+        before = election.incumbent_metric
+        election.on_ack_report(report("r2", 0, 60000), 100, 1.0)
+        assert election.current == "r1"
+        assert election.incumbent_metric == before
+
+    def test_stale_incumbent_replaced_when_unmeasured(self):
+        election = AckerElection()
+        election._incumbent = None
+        election.on_nak_report(report("rX", 95, 10), 100, 0.0)
+        assert election.current == "rX"

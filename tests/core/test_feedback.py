@@ -1,0 +1,123 @@
+"""Tests for the application feedback layer (§3.9)."""
+
+import pytest
+
+from repro.core.feedback import AdaptiveSource, QualityLevel, TokenRateEstimator
+from repro.core.reports import ReceiverReport
+
+
+class TestTokenRateEstimator:
+    def test_no_estimate_before_two_tokens(self):
+        est = TokenRateEstimator()
+        assert est.on_token(0.0) is None
+        assert est.packets_per_second is None
+
+    def test_steady_rate_estimated(self):
+        est = TokenRateEstimator(tau=1.0)
+        for i in range(200):
+            est.on_token(i * 0.1)  # 10 pkt/s
+        assert est.packets_per_second == pytest.approx(10.0, rel=0.05)
+
+    def test_bits_per_second(self):
+        est = TokenRateEstimator(tau=1.0)
+        for i in range(200):
+            est.on_token(i * 0.1)
+        assert est.bits_per_second(1400) == pytest.approx(10 * 1400 * 8, rel=0.05)
+
+    def test_tracks_rate_change(self):
+        est = TokenRateEstimator(tau=0.5)
+        t = 0.0
+        for _ in range(100):
+            t += 0.1
+            est.on_token(t)
+        for _ in range(200):
+            t += 0.02  # 50 pkt/s
+            est.on_token(t)
+        assert est.packets_per_second == pytest.approx(50.0, rel=0.1)
+
+    def test_tau_validation(self):
+        with pytest.raises(ValueError):
+            TokenRateEstimator(tau=0)
+
+    def test_simultaneous_tokens_do_not_crash(self):
+        est = TokenRateEstimator()
+        est.on_token(1.0)
+        est.on_token(1.0)  # zero interval
+        est.on_token(1.1)
+        assert est.packets_per_second is not None
+
+
+LEVELS = [
+    QualityLevel("low", 50_000),
+    QualityLevel("mid", 200_000),
+    QualityLevel("high", 800_000),
+]
+
+
+def drive(app, rate_pps, start, seconds):
+    t = start
+    interval = 1.0 / rate_pps
+    end = start + seconds
+    while t < end:
+        app.on_token(t)
+        t += interval
+    return t
+
+
+class TestAdaptiveSource:
+    def test_needs_levels(self):
+        with pytest.raises(ValueError):
+            AdaptiveSource([])
+
+    def test_up_margin_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSource(LEVELS, up_margin=0.9)
+
+    def test_starts_at_lowest(self):
+        app = AdaptiveSource(LEVELS)
+        assert app.current.name == "low"
+
+    def test_steps_up_with_capacity(self):
+        app = AdaptiveSource(LEVELS, payload_bytes=1400)
+        # 40 pkt/s * 1400B*8 = 448 kbit/s -> fits "mid" comfortably
+        drive(app, 40.0, 0.0, 30.0)
+        assert app.current.name == "mid"
+
+    def test_steps_down_when_squeezed(self):
+        app = AdaptiveSource(LEVELS, payload_bytes=1400)
+        t = drive(app, 40.0, 0.0, 30.0)
+        drive(app, 5.0, t, 30.0)  # 56 kbit/s
+        assert app.current.name == "low"
+
+    def test_hysteresis_prevents_flapping(self):
+        """Token rate oscillating just around a boundary must not
+        produce a level change per oscillation."""
+        app = AdaptiveSource(LEVELS, payload_bytes=1400, headroom=1.0)
+        t = 0.0
+        # mid needs 200k/ (1400*8) = 17.9 pkt/s; oscillate 18..19.5
+        import itertools
+
+        for rate in itertools.islice(itertools.cycle([18.0, 19.5]), 200):
+            for _ in range(20):
+                t += 1.0 / rate
+                app.on_token(t)
+        assert len(app.level_changes) <= 2
+
+    def test_level_change_callback(self):
+        seen = []
+        app = AdaptiveSource(LEVELS, payload_bytes=1400,
+                             on_level_change=lambda lv: seen.append(lv.name))
+        drive(app, 40.0, 0.0, 30.0)
+        assert seen and seen[-1] == "mid"
+
+    def test_redundancy_share_from_report(self):
+        app = AdaptiveSource(LEVELS)
+        assert app.redundancy_share == pytest.approx(0.02)  # floor
+        app.on_report(ReceiverReport("r", 0, 6554))  # ~10% loss
+        assert app.redundancy_share == pytest.approx(0.3, rel=0.01)
+        app.on_report(ReceiverReport("r", 0, 65536))  # 100% loss
+        assert app.redundancy_share == 0.5  # clamped
+
+    def test_levels_sorted_by_rate(self):
+        app = AdaptiveSource(list(reversed(LEVELS)))
+        assert [lv.name for lv in app.levels] == ["low", "mid", "high"]

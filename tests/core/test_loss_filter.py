@@ -1,0 +1,194 @@
+"""Tests for the fixed-point loss filter (§3.2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loss_filter import (
+    DEFAULT_W,
+    SCALE,
+    LossRateFilter,
+    to_fixed,
+    to_float,
+)
+
+
+class TestFixedPointConversion:
+    def test_round_trip_extremes(self):
+        assert to_fixed(0.0) == 0
+        assert to_fixed(1.0) == SCALE
+        assert to_float(0) == 0.0
+        assert to_float(SCALE) == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            to_fixed(1.01)
+        with pytest.raises(ValueError):
+            to_fixed(-0.01)
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_round_trip_error_bounded(self, x):
+        assert abs(to_float(to_fixed(x)) - x) <= 1.0 / SCALE
+
+
+class TestFilterBasics:
+    def test_starts_at_zero(self):
+        assert LossRateFilter().value == 0
+
+    def test_w_validation(self):
+        with pytest.raises(ValueError):
+            LossRateFilter(0)
+        with pytest.raises(ValueError):
+            LossRateFilter(SCALE)
+
+    def test_single_loss_impulse(self):
+        """One loss raises the output by exactly (1-W) in fixed point."""
+        filt = LossRateFilter(DEFAULT_W)
+        value = filt.update(True)
+        assert value == SCALE - DEFAULT_W  # 536
+
+    def test_loss_then_decay(self):
+        filt = LossRateFilter(DEFAULT_W)
+        peak = filt.update(True)
+        value = peak
+        for _ in range(100):
+            new = filt.update(False)
+            assert new <= value
+            value = new
+        assert value < peak
+
+    def test_all_losses_converges_to_one(self):
+        filt = LossRateFilter(DEFAULT_W)
+        for _ in range(20_000):
+            filt.update(True)
+        assert filt.loss_rate > 0.97
+
+    def test_integer_arithmetic_only(self):
+        """The paper: fixed point with shifts — the state stays int."""
+        filt = LossRateFilter()
+        for i in range(100):
+            filt.update(i % 7 == 0)
+            assert isinstance(filt.value, int)
+
+    def test_reset(self):
+        filt = LossRateFilter()
+        filt.update(True)
+        filt.reset()
+        assert filt.value == 0
+        assert filt.samples == 0
+
+    def test_update_run(self):
+        a = LossRateFilter()
+        b = LossRateFilter()
+        pattern = [True, False, False, True, False]
+        final = a.update_run(pattern)
+        for lost in pattern:
+            b.update(lost)
+        assert final == b.value
+
+    def test_counters(self):
+        filt = LossRateFilter()
+        filt.update_run([True, False, True, False, False])
+        assert filt.samples == 5
+        assert filt.losses == 2
+        assert filt.raw_loss_rate == pytest.approx(0.4)
+
+
+class TestSteadyState:
+    @pytest.mark.parametrize("period,expected", [(10, 0.1), (20, 0.05), (100, 0.01)])
+    def test_periodic_loss_converges_to_rate(self, period, expected):
+        """At steady state the filter's cycle-average equals the loss
+        rate (point samples oscillate within the cycle)."""
+        filt = LossRateFilter(DEFAULT_W)
+        outputs = []
+        for i in range(60_000):
+            outputs.append(filt.update(i % period == 0))
+        last_cycle = outputs[-period:]
+        mean = sum(last_cycle) / len(last_cycle) / 65536
+        # Fixed-point truncation biases the output low by up to
+        # ~0.5 LSB per step ≈ 0.0009 absolute; wider tolerance at the
+        # low rate where that bias is relatively large.
+        assert mean == pytest.approx(expected, rel=0.15)
+
+    def test_paper_w_corner_frequency(self):
+        """The paper quotes ~0.0013 packets^-1 for W=65000/65536."""
+        assert LossRateFilter(65000).corner_frequency() == pytest.approx(0.0013, rel=0.05)
+
+    def test_smaller_w_responds_faster(self):
+        """Fig. 2: smaller W = higher corner frequency = noisier."""
+        fast = LossRateFilter(64000)
+        slow = LossRateFilter(65280)
+        fast.update(True)
+        slow.update(True)
+        assert fast.value > slow.value  # bigger impulse response
+
+    def test_five_percent_random_loss_band(self):
+        """Fig. 2 bottom: 5% loss keeps the output in the 2000–6000
+        fixed-point band (around 3277)."""
+        import random
+
+        rng = random.Random(4)
+        filt = LossRateFilter(DEFAULT_W)
+        outputs = []
+        for _ in range(20_000):
+            outputs.append(filt.update(rng.random() < 0.05))
+        steady = outputs[5000:]
+        mean = sum(steady) / len(steady)
+        assert 2500 < mean < 4200
+        assert min(steady) > 500
+        assert max(steady) < 9000
+
+
+class TestFilterProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=500))
+    @settings(max_examples=200)
+    def test_output_bounded(self, pattern):
+        filt = LossRateFilter()
+        for lost in pattern:
+            value = filt.update(lost)
+            assert 0 <= value <= SCALE
+
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=200),
+        st.integers(min_value=1, max_value=SCALE - 1),
+    )
+    @settings(max_examples=100)
+    def test_output_bounded_any_w(self, pattern, w):
+        filt = LossRateFilter(w)
+        for lost in pattern:
+            assert 0 <= filt.update(lost) <= SCALE
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    @settings(max_examples=100)
+    def test_monotone_in_losses(self, pattern):
+        """Turning any received slot into a lost slot never lowers the
+        final output (monotonicity of the linear filter)."""
+        base = LossRateFilter()
+        base.update_run(pattern)
+        worse_pattern = list(pattern)
+        # flip the first received slot to lost, if any
+        try:
+            worse_pattern[worse_pattern.index(False)] = True
+        except ValueError:
+            return
+        worse = LossRateFilter()
+        worse.update_run(worse_pattern)
+        assert worse.value >= base.value
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    @settings(max_examples=100)
+    def test_deterministic(self, pattern):
+        a = LossRateFilter()
+        b = LossRateFilter()
+        assert a.update_run(pattern) == b.update_run(pattern)
+
+    @given(st.integers(min_value=1, max_value=SCALE - 1))
+    def test_all_loss_fixed_point_stable(self, w):
+        """The filter must not overflow/oscillate at saturation."""
+        filt = LossRateFilter(w)
+        last = 0
+        for _ in range(1000):
+            value = filt.update(True)
+            assert value >= last  # non-decreasing toward SCALE
+            last = value
+        assert last <= SCALE

@@ -1,0 +1,114 @@
+"""Tests for RTT measurement (§3.2.1) and receiver reports (§3.2)."""
+
+import pytest
+
+from repro.core.loss_filter import SCALE
+from repro.core.reports import ReceiverReport
+from repro.core.rtt import RttSampler, SmoothedRtt, packet_rtt
+
+
+class TestPacketRtt:
+    def test_difference_of_sequences(self):
+        """The paper's scheme: last_tx_seq - rxw_lead, in packets."""
+        assert packet_rtt(100, 80) == 20
+
+    def test_floor(self):
+        assert packet_rtt(100, 100) == 1
+        assert packet_rtt(100, 150) == 1  # stale sender view
+
+    def test_custom_floor(self):
+        assert packet_rtt(5, 5, floor=0) == 0
+
+    def test_rate_scaling_preserves_receiver_ordering(self):
+        """§3.2.1: the packet-RTT value varies with the data rate, but
+        identically for all receivers, so comparisons are unaffected.
+        At k times the rate, a path holding t seconds of data holds
+        k times as many packets."""
+        time_rtt_fast, time_rtt_slow = 0.1, 0.4  # seconds of path delay
+        for rate_pps in (10, 100, 1000):
+            fast = packet_rtt(1000, 1000 - int(time_rtt_fast * rate_pps))
+            slow = packet_rtt(1000, 1000 - int(time_rtt_slow * rate_pps))
+            assert slow > fast
+            # the ratio approaches the time-RTT ratio as rate grows
+            if rate_pps >= 100:
+                assert slow / fast == pytest.approx(4.0, rel=0.35)
+
+
+class TestSmoothedRtt:
+    def test_first_sample_initialises(self):
+        s = SmoothedRtt()
+        assert s.value is None
+        s.update(10.0)
+        assert s.value == 10.0
+
+    def test_ewma_gain(self):
+        s = SmoothedRtt(gain=0.5)
+        s.update(10.0)
+        s.update(20.0)
+        assert s.value == pytest.approx(15.0)
+
+    def test_gain_validation(self):
+        with pytest.raises(ValueError):
+            SmoothedRtt(gain=0.0)
+
+    def test_reset(self):
+        s = SmoothedRtt()
+        s.update(5.0)
+        s.reset()
+        assert s.value is None
+        s.reset(3.0)
+        assert s.value == 3.0
+
+    def test_converges_to_constant_input(self):
+        s = SmoothedRtt(gain=0.25)
+        s.update(100.0)
+        for _ in range(50):
+            s.update(10.0)
+        assert s.value == pytest.approx(10.0, abs=0.01)
+
+
+class TestRttSampler:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            RttSampler("bogus")
+
+    def test_seq_mode(self):
+        sampler = RttSampler(RttSampler.SEQ)
+        rep = ReceiverReport("r", 80, 0)
+        assert sampler.sample(rep, last_tx_seq=100, now=5.0) == 20.0
+
+    def test_time_mode_uses_echo(self):
+        sampler = RttSampler(RttSampler.TIME)
+        rep = ReceiverReport("r", 80, 0, timestamp_echo=4.5)
+        assert sampler.sample(rep, last_tx_seq=100, now=5.0) == pytest.approx(0.5)
+
+    def test_time_mode_without_echo_returns_none(self):
+        sampler = RttSampler(RttSampler.TIME)
+        rep = ReceiverReport("r", 80, 0)
+        assert sampler.sample(rep, 100, 5.0) is None
+
+    def test_time_mode_clamps_nonpositive(self):
+        sampler = RttSampler(RttSampler.TIME)
+        rep = ReceiverReport("r", 80, 0, timestamp_echo=9.0)
+        assert sampler.sample(rep, 100, 5.0) == pytest.approx(1e-6)
+
+
+class TestReceiverReport:
+    def test_valid_report(self):
+        rep = ReceiverReport("r1", 10, 500)
+        assert rep.loss_rate == pytest.approx(500 / SCALE)
+
+    def test_negative_lead_rejected(self):
+        with pytest.raises(ValueError):
+            ReceiverReport("r1", -1, 0)
+
+    def test_loss_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ReceiverReport("r1", 0, SCALE + 1)
+        with pytest.raises(ValueError):
+            ReceiverReport("r1", 0, -1)
+
+    def test_frozen(self):
+        rep = ReceiverReport("r1", 0, 0)
+        with pytest.raises(AttributeError):
+            rep.rx_loss = 5

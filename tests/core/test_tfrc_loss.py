@@ -1,0 +1,135 @@
+"""Tests for the TFRC average-loss-interval estimator (§5 future work)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loss_filter import SCALE, LossRateFilter
+from repro.core.tfrc_loss import DEFAULT_WEIGHTS, LossIntervalEstimator
+
+
+class TestBasics:
+    def test_starts_at_zero(self):
+        est = LossIntervalEstimator()
+        assert est.value == 0
+        assert est.loss_rate == 0.0
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            LossIntervalEstimator(weights=())
+        with pytest.raises(ValueError):
+            LossIntervalEstimator(weights=(1.0, -1.0))
+
+    def test_default_weights_are_tfrc(self):
+        assert DEFAULT_WEIGHTS == (1.0, 1.0, 1.0, 1.0, 0.8, 0.6, 0.4, 0.2)
+
+    def test_no_loss_stays_zero(self):
+        est = LossIntervalEstimator()
+        for _ in range(1000):
+            est.update(False)
+        assert est.loss_rate == 0.0
+
+    def test_reset(self):
+        est = LossIntervalEstimator()
+        est.update_run([False, True, False])
+        est.reset()
+        assert est.value == 0
+        assert est.samples == 0
+
+    def test_counters(self):
+        est = LossIntervalEstimator()
+        est.update_run([True, False, True, False])
+        assert est.samples == 4
+        assert est.losses == 2
+        assert est.raw_loss_rate == pytest.approx(0.5)
+
+
+class TestEstimation:
+    def test_periodic_loss_exact(self):
+        """Loss every k packets -> intervals of k -> rate 1/k."""
+        est = LossIntervalEstimator()
+        for i in range(1, 2001):
+            est.update(i % 20 == 0)
+        assert est.loss_rate == pytest.approx(1 / 20, rel=0.01)
+
+    def test_random_loss_converges(self):
+        rng = random.Random(5)
+        est = LossIntervalEstimator()
+        for _ in range(50_000):
+            est.update(rng.random() < 0.05)
+        assert est.loss_rate == pytest.approx(0.05, rel=0.4)
+
+    def test_open_interval_decays_estimate(self):
+        """A long loss-free run lowers the rate even with no new loss
+        event (the open-interval inclusion)."""
+        est = LossIntervalEstimator()
+        for i in range(1, 201):
+            est.update(i % 10 == 0)
+        at_steady = est.loss_rate
+        for _ in range(500):
+            est.update(False)
+        assert est.loss_rate < at_steady / 3
+
+    def test_smoother_than_raw_filter_after_burst(self):
+        """TFRC counts a burst of consecutive losses as few loss
+        events; the low-pass filter spikes on each lost packet."""
+        tfrc = LossIntervalEstimator()
+        lp = LossRateFilter()
+        pattern = [False] * 500 + [True] * 5 + [False] * 20
+        tfrc.update_run(pattern)
+        lp.update_run(pattern)
+        assert tfrc.value < lp.value
+
+    def test_fixed_point_value_bounded(self):
+        est = LossIntervalEstimator()
+        est.update(True)  # interval of 1 -> rate 1.0
+        assert est.value <= SCALE
+
+
+class TestProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=500))
+    @settings(max_examples=150)
+    def test_rate_always_in_unit_interval(self, pattern):
+        est = LossIntervalEstimator()
+        for lost in pattern:
+            est.update(lost)
+            assert 0.0 <= est.loss_rate <= 1.0
+            assert 0 <= est.value <= SCALE
+
+    @given(st.integers(min_value=2, max_value=200))
+    @settings(max_examples=50, deadline=None)  # long periods are slow
+    def test_periodic_rate_inverse_of_period(self, period):
+        est = LossIntervalEstimator()
+        for i in range(1, period * 30 + 1):
+            est.update(i % period == 0)
+        assert est.loss_rate == pytest.approx(1 / period, rel=0.05)
+
+
+class TestReceiverIntegration:
+    def test_receiver_controller_accepts_tfrc(self):
+        from repro.core.receiver_cc import ReceiverController
+
+        rc = ReceiverController("r", estimator="tfrc")
+        rc.on_data(0, 0.0)
+        rc.on_data(2, 1.0)  # loss of 1
+        report = rc.report()
+        assert report.rx_loss > 0
+
+    def test_unknown_estimator_rejected(self):
+        from repro.core.receiver_cc import ReceiverController
+
+        with pytest.raises(ValueError):
+            ReceiverController("r", estimator="psychic")
+
+    def test_session_level_tfrc_runs(self):
+        from repro.pgm import create_session
+        from repro.simulator import LinkSpec, star
+
+        spec = LinkSpec(2_000_000, 0.1, queue_bytes=30_000, loss_rate=0.03)
+        net = star(1, spec, seed=21)
+        session = create_session(net, "src", ["r0"], estimator="tfrc")
+        net.run(until=30.0)
+        assert session.sender.odata_sent > 100
+        assert session.receivers[0].loss_rate == pytest.approx(0.03, abs=0.025)

@@ -1,0 +1,376 @@
+"""Shape assertions for every figure's experiment, at reduced scale.
+
+Each test asserts the *shape* the paper reports — who wins, rough
+factors, where plateaus sit — not absolute numbers (our substrate is a
+simulator, not the authors' testbed).
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig2_loss_filter,
+    fig3_intra_fairness,
+    fig4_inter_fairness,
+    fig5_acker_selection,
+    fig6_heterogeneous_rtt,
+    fig7_uncorrelated_loss,
+    unreliable_mode,
+)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return fig2_loss_filter.run(scale=0.4)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return fig3_intra_fairness.run(scale=0.4)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return fig4_inter_fairness.run(scale=0.4)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return fig5_acker_selection.run(scale=0.4)
+
+
+class TestFig2:
+    def test_lossy_output_in_band(self, fig2):
+        """5% random loss: mean filter output near 0.05·2^16 ≈ 3277,
+        inside the figure's 2000–6000 band."""
+        mean = fig2.metrics["lossy-5pct:w65000:mean"]
+        raw = fig2.metrics["lossy-5pct:raw_loss"]
+        assert 2000 < mean < 6000
+        assert mean / 65536 == pytest.approx(raw, rel=0.35)
+
+    def test_smaller_w_noisier(self, fig2):
+        """Fig. 2: the three W values differ in smoothing."""
+        for scenario in ("congested-60k", "lossy-5pct"):
+            stds = [fig2.metrics[f"{scenario}:w{w}:std"] for w in (64000, 65000, 65280)]
+            assert stds[0] > stds[1] > stds[2]
+
+    def test_congested_loss_sparse_and_low(self, fig2):
+        assert fig2.metrics["congested-60k:raw_loss"] < 0.10
+
+    def test_rows_cover_all_scenarios(self, fig2):
+        assert len(fig2.rows) == 6  # 2 scenarios x 3 W values
+
+
+class TestFig3:
+    def test_nonlossy_even_split(self, fig3):
+        assert fig3.metrics["non-lossy:jain"] > 0.9
+
+    def test_nonlossy_first_session_yields(self, fig3):
+        alone = fig3.metrics["non-lossy:rate1_alone"]
+        shared = fig3.metrics["non-lossy:rate1_shared"]
+        assert shared < 0.75 * alone
+        assert shared > 0.3 * alone
+
+    def test_lossy_unperturbed(self, fig3):
+        """Lossy link: no congestion coupling, session 1's rate holds."""
+        alone = fig3.metrics["lossy:rate1_alone"]
+        shared = fig3.metrics["lossy:rate1_shared"]
+        assert shared == pytest.approx(alone, rel=0.35)
+
+    def test_switches_happen_without_harm(self, fig3):
+        """c=1 here: the 2-receiver session sees acker switches."""
+        assert fig3.metrics["non-lossy:switches1"] >= 1
+
+
+class TestFig4:
+    def test_no_starvation(self, fig4):
+        for label in ("non-lossy", "lossy"):
+            assert fig4.metrics[f"{label}:ratio"] < 3.5
+
+    def test_pgm_regains_link_after_tcp(self, fig4):
+        alone = fig4.metrics["non-lossy:pgm_alone"]
+        after = fig4.metrics["non-lossy:pgm_after"]
+        assert after > 0.75 * alone
+
+    def test_pgm_yields_to_tcp(self, fig4):
+        alone = fig4.metrics["non-lossy:pgm_alone"]
+        shared = fig4.metrics["non-lossy:pgm_shared"]
+        assert shared < 0.8 * alone
+
+    def test_colocated_receivers_cause_switches(self, fig4):
+        assert fig4.metrics["non-lossy:acker_switches"] >= 1
+
+
+class TestFig5:
+    def test_plateau_sequence(self, fig5):
+        p1 = fig5.metrics["plateau1"]
+        p2 = fig5.metrics["plateau2"]
+        p3 = fig5.metrics["plateau3"]
+        p4 = fig5.metrics["plateau4"]
+        # ≈500 alone on L2
+        assert p1 == pytest.approx(500_000, rel=0.15)
+        # ≈400 with PR1 on L1
+        assert p2 == pytest.approx(400_000, rel=0.15)
+        # TCP on L2 drags the session well below L1's rate
+        assert p3 < 0.8 * p2
+        # recovery after TCP ends
+        assert p4 > 0.8 * p2
+
+    def test_acker_follows_slowest_path(self, fig5):
+        ackers = fig5.metrics["ackers"]
+        assert ackers["phase1"] == "pr2"
+        assert ackers["phase2"] == "pr1"
+        assert ackers["phase3"] == "pr2"
+        assert ackers["phase4"] == "pr1"
+
+    def test_switches_at_transitions(self, fig5):
+        assert fig5.metrics["switch_count"] >= 3
+
+    def test_multiple_receivers_per_site_same_structure(self):
+        """The paper: identical results (plateaus, acker sites) in NS
+        with up to 10 receivers at each of PR1 and PR2."""
+        multi = fig5_acker_selection.run(scale=0.4, receivers_per_site=3)
+        assert multi.metrics["plateau1"] == pytest.approx(500_000, rel=0.15)
+        assert multi.metrics["plateau2"] == pytest.approx(400_000, rel=0.15)
+        assert multi.metrics["plateau3"] < 0.8 * multi.metrics["plateau2"]
+        ackers = multi.metrics["ackers"]
+        # acker sits on the L2 site first, the L1 site after the join
+        assert ackers["phase1"].startswith("pr2")
+        assert ackers["phase2"].startswith("pr1")
+        assert ackers["phase3"].startswith("pr2")
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return fig6_heterogeneous_rtt.run(scale=0.25)
+
+    def test_acker_is_a_group_member(self, fig6):
+        for label in ("no-NE", "NE-suppression"):
+            acker = fig6.metrics[f"{label}:dominant_acker"]
+            assert acker in {"pr0", "pr1", "pr2", "pr3"}
+
+    def test_tcp_not_starved(self, fig6):
+        """RTT spread 3–4x; the ratio must stay within TCP-vs-TCP
+        unfairness bounds, not starvation."""
+        for label in ("no-NE", "NE-suppression", "NE-rx-loss-aware"):
+            assert fig6.metrics[f"{label}:ratio"] < 8.0
+            assert fig6.metrics[f"{label}:pgm_rate"] > 20_000
+            assert fig6.metrics[f"{label}:tcp_rate"] > 20_000
+
+    def test_suppression_absorbs_nak_share(self, fig6):
+        """Within the NE run, a substantial share of NAKs seen by the
+        routers never reaches the source.  (Cross-run totals are not
+        comparable: a different acker changes the loss trajectory.)"""
+        suppressed = fig6.metrics["NE-suppression:ne_naks_suppressed"]
+        forwarded = fig6.metrics["NE-suppression:ne_naks_forwarded"]
+        assert suppressed > 0
+        assert suppressed / (suppressed + forwarded) > 0.1
+
+    def test_suppression_counters_active(self, fig6):
+        """Both NE modes actually suppress NAKs (the §3.7 rule's
+        forward-worse-reports behaviour has a deterministic unit test;
+        cross-mode totals are too run-dependent to order here)."""
+        for label in ("NE-suppression", "NE-rx-loss-aware"):
+            assert fig6.metrics[f"{label}:ne_naks_suppressed"] > 0
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def fig7(self):
+        return fig7_uncorrelated_loss.run(scale=0.12, total_receivers=60)
+
+    def test_no_drop_to_zero(self, fig7):
+        """The 50-receiver join must not collapse the session; the
+        paper even allows a modest increase."""
+        assert 0.5 < fig7.metrics["change_ratio"] < 2.0
+
+    def test_tcp_on_own_link_unaffected(self, fig7):
+        before = fig7.metrics["tcp_before"]
+        after = fig7.metrics["tcp_after"]
+        assert after > 0.5 * before
+
+    def test_no_repair_storm(self, fig7):
+        assert fig7.metrics["rdata_sent"] < fig7.metrics["odata_sent"]
+
+    def test_no_stall_collapse(self, fig7):
+        assert fig7.metrics["stalls"] <= 2
+
+
+class TestUnreliableMode:
+    @pytest.fixture(scope="class")
+    def unrel(self):
+        return unreliable_mode.run(scale=0.4)
+
+    def test_no_repairs_ever(self, unrel):
+        assert unrel.metrics["rdata_sent"] == 0
+
+    def test_rate_follows_link(self, unrel):
+        assert unrel.metrics["rate_after"] < 0.6 * unrel.metrics["rate_before"]
+
+    def test_app_steps_down(self, unrel):
+        levels = [lv.rate_bps for lv in unreliable_mode.LEVELS]
+        by_name = {lv.name: lv.rate_bps for lv in unreliable_mode.LEVELS}
+        assert (
+            by_name[unrel.metrics["level_after"]]
+            < by_name[unrel.metrics["level_before"]]
+        )
+
+
+class TestAblations:
+    def test_switch_bias_reduces_switches(self):
+        result = ablations.run_switch_bias(scale=0.25, cs=(1.0, 0.75))
+        assert (
+            result.metrics["c=0.75:switches"] <= result.metrics["c=1.0:switches"]
+        )
+        # throughput unaffected by the bias
+        assert result.metrics["c=0.75:pgm_shared"] == pytest.approx(
+            result.metrics["c=1.0:pgm_shared"], rel=0.6
+        )
+
+    def test_rtt_modes_equivalent(self):
+        result = ablations.run_rtt_mode(scale=0.25)
+        for phase in (1, 2):
+            assert result.metrics[f"time:plateau{phase}"] == pytest.approx(
+                result.metrics[f"seq:plateau{phase}"], rel=0.3
+            )
+
+    def test_dupack_thresholds_all_fair(self):
+        result = ablations.run_dupack(scale=0.25, thresholds=(2, 3, 5))
+        for threshold in (2, 3, 5):
+            assert result.metrics[f"dupack={threshold}:ratio"] < 4.5
+
+    def test_ssthresh_six_avoids_stalls(self):
+        result = ablations.run_ssthresh(scale=0.25, thresholds=(6,))
+        assert result.metrics["ssthresh=6:stalls"] <= 2
+
+    def test_padhye_model_flags_lossy_receiver(self):
+        result = ablations.run_throughput_model(scale=0.3)
+        assert result.metrics["padhye:dominant"] == "lossy"
+        assert result.metrics["padhye:rate"] < 500_000
+
+    def test_adaptive_ssthresh_no_starvation(self):
+        result = ablations.run_adaptive_ssthresh(scale=0.3)
+        for label in ("fixed-6", "adaptive"):
+            assert result.metrics[f"{label}:pgm"] > 50_000
+            assert result.metrics[f"{label}:tcp"] > 50_000
+
+    def test_loss_estimators_track_link(self):
+        result = ablations.run_loss_estimator(scale=0.3)
+        for estimator in ("filter", "tfrc"):
+            # the estimator's time average tracks the loss actually
+            # experienced in that run (the nominal 3% has sampling
+            # variance at short durations)
+            raw = result.metrics[f"{estimator}:raw_loss"]
+            assert abs(result.metrics[f"{estimator}:loss"] - raw) < 0.015
+            assert 0.005 < result.metrics[f"{estimator}:loss"] < 0.08
+
+
+class TestScalability:
+    @pytest.fixture(scope="class")
+    def scale_result(self):
+        from repro.experiments import scalability
+
+        return scalability.run(scale=0.3, group_sizes=(20, 60))
+
+    def test_single_acker_constant_ack_load(self, scale_result):
+        for n in (20, 60):
+            for mode in ("plain", "ne"):
+                assert 0.5 < scale_result.metrics[f"n{n}:{mode}:acks_per_data"] < 1.5
+
+    def test_ne_suppression_flattens_nak_growth(self, scale_result):
+        ne_growth = scale_result.metrics["n60:ne:naks"] / max(
+            scale_result.metrics["n20:ne:naks"], 1
+        )
+        plain_growth = scale_result.metrics["n60:plain:naks"] / max(
+            scale_result.metrics["n20:plain:naks"], 1
+        )
+        assert plain_growth > ne_growth
+
+    def test_throughput_group_size_independent(self, scale_result):
+        assert (
+            scale_result.metrics["n60:ne:rate"]
+            > 0.8 * scale_result.metrics["n20:ne:rate"]
+        )
+
+
+class TestFairnessSweep:
+    def test_reduced_grid_no_starvation(self):
+        from repro.experiments import fairness_sweep
+
+        grid = ((250_000, 10, 0.0), (500_000, 30, 0.02), (1_000_000, 60, 0.0))
+        result = fairness_sweep.run(scale=0.3, grid=grid)
+        assert result.metrics["worst_ratio"] < 4.5
+        for row in result.rows:
+            assert row["pgm_kbps"] > 0
+            assert row["tcp_kbps"] > 0
+
+    def test_delayed_acks_fair_both_ways(self):
+        result = ablations.run_delayed_acks(scale=0.3)
+        for label in ("delack", "no-delack"):
+            assert result.metrics[f"{label}:ratio"] < 4.5
+
+
+class TestRobustness:
+    def test_multipath_survives_reordering(self):
+        from repro.experiments import robustness
+
+        result = robustness.run_multipath(scale=0.3)
+        assert result.metrics["stalls"] == 0
+        assert result.metrics["sprayed_rate"] > 0.4 * result.metrics["single_rate"]
+
+    def test_churn_never_wedges(self):
+        from repro.experiments import robustness
+
+        result = robustness.run_churn(scale=0.4)
+        assert result.metrics["churn_events"] >= 4
+        assert result.metrics["rate"] > 100_000
+        assert result.metrics["longest_gap"] < 10.0
+
+    def test_bursty_loss_survives(self):
+        from repro.experiments import robustness
+
+        result = robustness.run_bursty_loss(scale=0.3)
+        for pattern in ("bernoulli", "bursty"):
+            assert result.metrics[f"{pattern}:rate"] > 50_000
+
+
+class TestDropToZero:
+    @pytest.fixture(scope="class")
+    def dtz(self):
+        from repro.experiments import drop_to_zero
+
+        return drop_to_zero.run(scale=0.3, group_sizes=(1, 20))
+
+    def test_naive_aggregation_collapses(self, dtz):
+        assert dtz.metrics["eq-naive:collapse"] > 2.0
+
+    def test_pgmcc_group_size_independent(self, dtz):
+        assert dtz.metrics["pgmcc:collapse"] < 1.5
+        assert dtz.metrics["pgmcc:rate@20"] > 100_000
+
+    def test_max_report_group_size_independent(self, dtz):
+        assert dtz.metrics["eq-max:collapse"] < 2.0
+
+
+class TestFecScaling:
+    @pytest.fixture(scope="class")
+    def fec(self):
+        from repro.experiments import fec_scaling
+
+        return fec_scaling.run(scale=0.3, n_receivers=24)
+
+    def test_rdata_repair_share_substantial(self, fec):
+        assert fec.metrics["rdata:repair_share"] > 0.05
+
+    def test_fec_sends_no_repairs(self, fec):
+        for r in (0, 1, 2):
+            assert fec.metrics[f"fec{r}:rdata"] == 0
+
+    def test_redundancy_ladder(self, fec):
+        assert (
+            fec.metrics["fec0:mean_residual"]
+            > fec.metrics["fec1:mean_residual"]
+            >= fec.metrics["fec2:mean_residual"]
+        )
+        assert fec.metrics["fec2:mean_residual"] < 0.02

@@ -1,0 +1,75 @@
+"""Whole-stack fuzzing: random network parameters through a full
+session must never crash and must preserve conservation invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.sender_cc import CcConfig
+from repro.pgm import create_session
+from repro.simulator import LinkSpec, dumbbell
+
+
+@st.composite
+def bottlenecks(draw):
+    rate = draw(st.sampled_from([100_000, 300_000, 500_000, 1_500_000]))
+    delay = draw(st.sampled_from([0.005, 0.05, 0.25]))
+    queue = draw(st.sampled_from([4, 15, 40]))
+    loss = draw(st.sampled_from([0.0, 0.01, 0.08]))
+    return LinkSpec(rate_bps=rate, delay=delay, queue_slots=queue,
+                    loss_rate=loss)
+
+
+@st.composite
+def configs(draw):
+    return CcConfig(
+        c=draw(st.sampled_from([0.6, 0.75, 1.0])),
+        ssthresh=draw(st.sampled_from([2, 6, 16])),
+        dupack_threshold=draw(st.sampled_from([2, 3, 5])),
+        model=draw(st.sampled_from(["simple", "padhye"])),
+        adaptive_ssthresh=draw(st.booleans()),
+    )
+
+
+class TestStackFuzz:
+    @given(
+        spec=bottlenecks(),
+        cc=configs(),
+        n_receivers=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_session_never_crashes(self, spec, cc, n_receivers, seed):
+        net = dumbbell(1, n_receivers, spec, seed=seed)
+        session = create_session(
+            net, "h0", [f"r{i}" for i in range(n_receivers)], cc=cc
+        )
+        net.run(until=15.0)
+
+        # liveness: something was sent, and unless the link is nearly
+        # unusable some data reached the receivers
+        assert session.sender.odata_sent >= 1
+        total_received = sum(rx.odata_received for rx in session.receivers)
+        if spec.loss_rate < 0.5:
+            assert total_received >= 1
+
+        # controller invariants
+        ctl = session.sender.controller
+        assert ctl.window.w >= 1.0
+        assert ctl.window.ignore_acks >= 0
+        assert ctl.tracker.outstanding_count >= 0
+
+        # conservation on every link after a drain period
+        session.close()
+        net.run(until=25.0)
+        for node in net.nodes.values():
+            for link in node.links.values():
+                assert link.sent == (
+                    link.delivered + link.random_drops
+                    + link.queue.drops + len(link.queue)
+                ), link.name
+
+        # receiver monotonicity
+        for rx in session.receivers:
+            assert rx.rxw_lead <= session.sender.next_seq - 1

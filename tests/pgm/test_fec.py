@@ -1,0 +1,168 @@
+"""Tests for the FEC repair substrate (§3.9 / Fig. 7 caveat)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pgm.fec import FecAssembler, FecPayload, FecSource, attach_fec_receiver
+
+
+class TestFecSource:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FecSource(k=0)
+        with pytest.raises(ValueError):
+            FecSource(redundancy=-1)
+
+    def test_block_structure(self):
+        src = FecSource(k=3, redundancy=2)
+        tags = [src.next_payload()[1] for _ in range(10)]
+        assert [t.block for t in tags] == [0] * 5 + [1] * 5
+        assert [t.index for t in tags[:5]] == [0, 1, 2, 3, 4]
+        assert [t.is_parity for t in tags[:5]] == [False, False, False, True, True]
+
+    def test_counters_and_overhead(self):
+        src = FecSource(k=4, redundancy=1)
+        for _ in range(10):
+            src.next_payload()
+        assert src.data_packets == 8
+        assert src.parity_packets == 2
+        assert src.overhead == pytest.approx(0.2)
+
+    def test_limit_blocks(self):
+        src = FecSource(k=2, redundancy=1, limit_blocks=2)
+        count = 0
+        while src.has_data():
+            src.next_payload()
+            count += 1
+        assert count == 6
+
+    def test_adaptive_redundancy_applies_next_block(self):
+        src = FecSource(k=2, redundancy=0)
+        src.next_payload()  # block 0 started with n=2
+        src.set_redundancy(2)
+        tags = [src.next_payload()[1] for _ in range(5)]
+        # block 0 finishes with its original geometry (n=2, no parity)
+        block0 = [t for t in tags if t.block == 0]
+        assert all(t.n == 2 and not t.is_parity for t in block0)
+        # block 1 carries the new redundancy
+        block1 = [t for t in tags if t.block == 1]
+        assert sum(t.is_parity for t in block1) == 2
+        assert all(t.n == 4 for t in block1)
+
+    def test_zero_redundancy_plain_stream(self):
+        src = FecSource(k=4, redundancy=0)
+        tags = [src.next_payload()[1] for _ in range(8)]
+        assert not any(t.is_parity for t in tags)
+
+
+class TestFecAssembler:
+    def tag(self, block, index, k=3, n=5):
+        return FecPayload(block, index, k, n)
+
+    def test_decodes_with_any_k_packets(self):
+        """The MDS property: any k of n reconstructs the block."""
+        asm = FecAssembler()
+        assert not asm.on_payload(self.tag(0, 4))  # parity
+        assert not asm.on_payload(self.tag(0, 1))
+        assert asm.on_payload(self.tag(0, 3))  # third packet: decoded
+        assert asm.blocks_decoded == 1
+
+    def test_fewer_than_k_insufficient(self):
+        asm = FecAssembler()
+        asm.on_payload(self.tag(0, 0))
+        asm.on_payload(self.tag(0, 1))
+        assert asm.blocks_decoded == 0
+        assert asm.undecoded_blocks(0) == [0]
+
+    def test_duplicates_do_not_count(self):
+        asm = FecAssembler()
+        for _ in range(5):
+            asm.on_payload(self.tag(0, 0))
+        assert asm.blocks_decoded == 0
+
+    def test_residual_loss_counts_closed_blocks(self):
+        asm = FecAssembler()
+        # block 0 complete, block 1 incomplete, block 2 open (highest)
+        for i in range(3):
+            asm.on_payload(self.tag(0, i))
+        asm.on_payload(self.tag(1, 0))
+        asm.on_payload(self.tag(2, 0))
+        assert asm.residual_block_loss() == pytest.approx(0.5)
+
+    def test_mid_block_joiner_excludes_partial_first_block(self):
+        """A receiver joining mid-session must not count the blocks it
+        never observed (or its partial first block) as residual loss."""
+        asm = FecAssembler()
+        # first packet ever seen: block 50, index 2 (mid-block join)
+        asm.on_payload(self.tag(50, 2))
+        for i in range(3):
+            asm.on_payload(self.tag(51, i))
+        assert asm.residual_block_loss(up_to_block=51) == 0.0
+
+    def test_from_start_receiver_counts_block_zero(self):
+        asm = FecAssembler()
+        asm.on_payload(self.tag(0, 0))
+        asm.on_payload(self.tag(1, 0))
+        asm.on_payload(self.tag(2, 0))
+        # blocks 0 and 1 closed, neither decoded
+        assert asm.residual_block_loss() == 1.0
+
+    def test_block_callback(self):
+        done = []
+        asm = FecAssembler(on_block=done.append)
+        for i in range(3):
+            asm.on_payload(self.tag(7, i))
+        assert done == [7]
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=6),
+        st.data(),
+    )
+    @settings(max_examples=150)
+    def test_decode_iff_k_survivors(self, k, r, data):
+        """Property: a block decodes exactly when >= k distinct packets
+        of it arrive, in any order."""
+        n = k + r
+        arrivals = data.draw(
+            st.lists(st.integers(min_value=0, max_value=n - 1), max_size=2 * n)
+        )
+        asm = FecAssembler()
+        for index in arrivals:
+            asm.on_payload(FecPayload(0, index, k, n))
+        decoded = asm.blocks_decoded == 1
+        assert decoded == (len(set(arrivals)) >= k)
+
+
+class TestEndToEndFec:
+    def test_fec_recovers_without_any_rdata(self):
+        """One receiver on a 3% lossy link, unreliable session with
+        25% parity: essentially all blocks decode, zero repair
+        traffic — the scalable alternative to Fig. 7's RDATA."""
+        from repro.pgm import create_session
+        from repro.simulator import LinkSpec, star
+
+        spec = LinkSpec(2_000_000, 0.1, queue_bytes=30_000, loss_rate=0.03)
+        net = star(1, spec, seed=77)
+        source = FecSource(k=12, redundancy=4)
+        session = create_session(net, "src", ["r0"], reliable=False, source=source)
+        assembler = FecAssembler()
+        attach_fec_receiver(session.receivers[0], assembler)
+        net.run(until=120.0)
+        assert session.sender.rdata_sent == 0
+        assert assembler.blocks_decoded > 20
+        assert assembler.residual_block_loss() < 0.02
+
+    def test_insufficient_redundancy_leaves_residual_loss(self):
+        from repro.pgm import create_session
+        from repro.simulator import LinkSpec, star
+
+        spec = LinkSpec(2_000_000, 0.1, queue_bytes=30_000, loss_rate=0.08)
+        net = star(1, spec, seed=78)
+        source = FecSource(k=16, redundancy=0)  # no protection
+        session = create_session(net, "src", ["r0"], reliable=False, source=source)
+        assembler = FecAssembler()
+        attach_fec_receiver(session.receivers[0], assembler)
+        net.run(until=120.0)
+        assert assembler.residual_block_loss() > 0.3  # most blocks hit

@@ -1,0 +1,82 @@
+"""Targeted tests for less-travelled paths: NE garbage collection,
+receiver timestamp echo on the wire, disabled-CC ACK handling."""
+
+from repro.core.reports import ReceiverReport
+from repro.core.sender_cc import CcConfig, SenderController
+from repro.pgm import constants as C
+from repro.pgm.network_element import PgmNetworkElement, _NakEntry
+from repro.pgm.packets import Ack, Nak, OData
+from repro.pgm.receiver import PgmReceiver
+from repro.simulator import ACCESS, Network, Packet
+from repro.simulator.engine import Simulator
+
+from .conftest import Collector
+
+
+class TestNeGarbageCollection:
+    def test_expired_state_pruned(self):
+        net = Network(seed=1)
+        router = net.add_router("R")
+        net.add_host("x")
+        net.duplex_link("R", "x", ACCESS)
+        net.build_routes()
+        ne = PgmNetworkElement(router)
+        # fabricate a large population of expired entries
+        for i in range(5000):
+            ne._nak_state[(1, i)] = _NakEntry(created=-10.0)
+            ne._fake_seen[(1, i)] = -10.0
+        ne._maybe_gc(now=net.sim.now)
+        assert len(ne._nak_state) == 0
+        assert len(ne._fake_seen) == 0
+
+    def test_fresh_state_survives_gc(self):
+        net = Network(seed=2)
+        router = net.add_router("R")
+        ne = PgmNetworkElement(router)
+        for i in range(5000):
+            ne._nak_state[(1, i)] = _NakEntry(created=net.sim.now)
+        ne._maybe_gc(now=net.sim.now)
+        assert len(ne._nak_state) == 5000
+
+
+class TestTimestampEchoOnWire:
+    def test_ack_report_carries_corrected_echo(self, wire):
+        collector = Collector()
+        wire.host("src").register_agent(C.PROTO, collector)
+        rx = PgmReceiver(wire.host("rx"), "mc:t", 1, "src",
+                         echo_timestamps=True)
+        odata = OData(1, 0, 0, 1400, timestamp=0.0, acker_id="rx")
+        wire.host("src").send(Packet("src", "mc:t", 1500, odata, C.PROTO))
+        wire.run(until=1.0)
+        acks = collector.payloads(Ack)
+        assert acks
+        echo = acks[0].report.timestamp_echo
+        assert echo is not None
+        # echoed timestamp (0.0) + ~zero hold: close to the send time
+        assert echo < 0.1
+
+    def test_nak_report_echo(self, wire):
+        collector = Collector()
+        wire.host("src").register_agent(C.PROTO, collector)
+        rx = PgmReceiver(wire.host("rx"), "mc:t", 1, "src",
+                         echo_timestamps=True, nak_bo_ivl=0.01)
+        for seq in (0, 2):
+            wire.host("src").send(
+                Packet("src", "mc:t", 1500,
+                       OData(1, seq, 0, 1400, timestamp=wire.sim.now), C.PROTO)
+            )
+        wire.run(until=1.0)
+        naks = collector.payloads(Nak)
+        assert naks and naks[0].report.timestamp_echo is not None
+
+
+class TestDisabledCcAcks:
+    def test_acks_are_inert_when_disabled(self):
+        sim = Simulator()
+        ctl = SenderController(sim, CcConfig(enabled=False))
+        ctl.register_data(0)
+        digest = ctl.on_ack(0, 1, ReceiverReport("r", 0, 0))
+        assert digest.newly_acked == []
+        assert digest.losses_declared == []
+        assert not digest.reacted
+        assert ctl.acks_seen == 1

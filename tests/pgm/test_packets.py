@@ -1,0 +1,175 @@
+"""EXP-F1 — byte-level round-trips of the Fig. 1 packet formats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reports import ReceiverReport
+from repro.pgm import constants as C
+from repro.pgm.packets import Ack, Nak, Ncf, OData, RData, Spm, decode
+
+rx_ids = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1,
+    max_size=16,
+)
+seqs = st.integers(min_value=0, max_value=2**32 - 1)
+tsis = st.integers(min_value=0, max_value=2**64 - 1)
+losses = st.integers(min_value=0, max_value=65535)
+
+
+def reports():
+    return st.builds(
+        ReceiverReport,
+        rx_id=rx_ids,
+        rxw_lead=seqs,
+        rx_loss=losses,
+        timestamp_echo=st.one_of(
+            st.none(), st.floats(min_value=0, max_value=1e6, allow_nan=False)
+        ),
+    )
+
+
+class TestRoundTrips:
+    def test_spm(self):
+        spm = Spm(1, 5, 10, 20, path="R7")
+        assert decode(spm.pack()) == spm
+
+    def test_odata_with_acker_option(self):
+        od = OData(9, 100, 50, 1400, timestamp=1.5, acker_id="r3",
+                   elicit_nak=False, payload=b"x" * 10)
+        back = decode(od.pack())
+        assert back.acker_id == "r3"
+        assert back.seq == 100
+        assert back.payload == b"x" * 10
+
+    def test_odata_elicit_mark(self):
+        """§3.6: the first packet is marked to elicit a fake NAK."""
+        od = OData(9, 0, 0, 1400, elicit_nak=True)
+        assert decode(od.pack()).elicit_nak
+
+    def test_odata_without_option(self):
+        od = OData(9, 1, 0, 1400)
+        back = decode(od.pack())
+        assert back.acker_id is None
+        assert not back.elicit_nak
+
+    def test_rdata(self):
+        rd = RData(9, 42, 10, 1400, timestamp=2.0, payload=b"abc")
+        back = decode(rd.pack())
+        assert (back.seq, back.payload) == (42, b"abc")
+
+    def test_nak_with_report(self):
+        """Fig. 1: NAKs carry rx_id, rxw_lead, rx_loss."""
+        rep = ReceiverReport("receiver-1", 500, 1234)
+        nak = Nak(9, 499, rep)
+        back = decode(nak.pack())
+        assert back.report == rep
+        assert back.seq == 499
+        assert not back.fake
+
+    def test_fake_nak_flag(self):
+        nak = Nak(9, 5, ReceiverReport("r", 5, 0), fake=True)
+        assert decode(nak.pack()).fake
+
+    def test_nak_list(self):
+        nak = Nak(9, 5, ReceiverReport("r", 9, 0), extra_seqs=(7, 8))
+        back = decode(nak.pack())
+        assert back.all_seqs() == (5, 7, 8)
+
+    def test_ncf(self):
+        assert decode(Ncf(9, 123).pack()) == Ncf(9, 123)
+
+    def test_ack_fields(self):
+        """Fig. 1: ACKs add ack_seq and the 32-bit bitmask."""
+        rep = ReceiverReport("r", 100, 99)
+        ack = Ack(9, 100, 0xDEADBEEF, rep)
+        back = decode(ack.pack())
+        assert back.ack_seq == 100
+        assert back.bitmask == 0xDEADBEEF
+        assert back.report == rep
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(Ncf(9, 1).pack())
+        data[0] = 0xFF
+        with pytest.raises(ValueError):
+            decode(bytes(data))
+
+    def test_unknown_type_rejected(self):
+        data = bytearray(Ncf(9, 1).pack())
+        data[1] = 0x3F
+        with pytest.raises(ValueError):
+            decode(bytes(data))
+
+
+class TestWireSizes:
+    def test_header_size_constant(self):
+        assert len(Ncf(9, 1).pack()) == C.HEADER_SIZE + 4
+
+    def test_odata_wire_size_matches_formula(self):
+        """The fast-path size formula must agree with the real codec."""
+        od = OData(9, 100, 50, 1400, acker_id="r3", payload=b"")
+        # wire_size counts payload_len even when bytes are elided
+        assert od.wire_size() == len(od.pack()) + 1400 + C.IP_UDP_OVERHEAD
+
+    def test_odata_wire_size_with_real_payload(self):
+        payload = b"z" * 1400
+        od = OData(9, 100, 50, 1400, acker_id="r3", payload=payload)
+        assert od.wire_size() == len(od.pack()) + C.IP_UDP_OVERHEAD
+
+    def test_data_packet_size_near_tcp(self):
+        """§4: 1400-byte pgmcc payloads give packets approximately the
+        size of 1460-byte-payload TCP segments (1500 bytes)."""
+        od = OData(9, 0, 0, 1400, acker_id="r0")
+        assert abs(od.wire_size() - 1500) < 40
+
+    def test_rdata_wire_size(self):
+        rd = RData(9, 0, 0, 1400)
+        assert rd.wire_size() == len(rd.pack()) + 1400 + C.IP_UDP_OVERHEAD
+
+
+class TestPropertyRoundTrips:
+    @given(tsis, seqs, seqs, seqs, rx_ids)
+    @settings(max_examples=150)
+    def test_spm_round_trip(self, tsi, a, b, c, path):
+        spm = Spm(tsi, a, b, c, path)
+        assert decode(spm.pack()) == spm
+
+    @given(tsis, seqs, seqs, st.integers(min_value=0, max_value=9000),
+           st.one_of(st.none(), rx_ids), st.booleans(),
+           st.binary(max_size=64))
+    @settings(max_examples=150)
+    def test_odata_round_trip(self, tsi, seq, trail, plen, acker, elicit, payload):
+        od = OData(tsi, seq, trail, plen, timestamp=1.25, acker_id=acker,
+                   elicit_nak=elicit, payload=payload)
+        back = decode(od.pack())
+        assert back.seq == seq and back.trail == trail
+        assert back.acker_id == acker
+        assert back.elicit_nak == elicit
+        assert back.payload == payload[:plen] if plen < len(payload) else back.payload == payload
+
+    @given(tsis, seqs, reports(), st.booleans(),
+           st.lists(seqs, max_size=5).map(tuple))
+    @settings(max_examples=150)
+    def test_nak_round_trip(self, tsi, seq, report, fake, extra):
+        nak = Nak(tsi, seq, report, fake, extra)
+        back = decode(nak.pack())
+        assert back.seq == seq
+        assert back.fake == fake
+        assert back.extra_seqs == extra
+        assert back.report.rx_id == report.rx_id
+        assert back.report.rxw_lead == report.rxw_lead
+        assert back.report.rx_loss == report.rx_loss
+        if report.timestamp_echo is None:
+            assert back.report.timestamp_echo is None
+        else:
+            assert back.report.timestamp_echo == pytest.approx(report.timestamp_echo)
+
+    @given(tsis, seqs, st.integers(min_value=0, max_value=2**32 - 1), reports())
+    @settings(max_examples=150)
+    def test_ack_round_trip(self, tsi, ack_seq, bitmap, report):
+        ack = Ack(tsi, ack_seq, bitmap, report)
+        back = decode(ack.pack())
+        assert back.ack_seq == ack_seq
+        assert back.bitmask == bitmap
+        assert back.report.rx_id == report.rx_id

@@ -1,0 +1,228 @@
+"""Tests for the PGM/pgmcc sender."""
+
+import pytest
+
+from repro.core.acktrack import build_bitmap
+from repro.core.reports import ReceiverReport
+from repro.core.sender_cc import CcConfig
+from repro.pgm import constants as C
+from repro.pgm.packets import Ack, Nak, Ncf, OData, RData, Spm
+from repro.pgm.sender import BulkSource, FiniteSource, PgmSender
+from repro.simulator import Packet
+
+from .conftest import Collector
+
+
+def make_sender(net, **kw):
+    collector = Collector()
+    net.host("rx").register_agent(C.PROTO, collector)
+    sender = PgmSender(net.host("src"), "mc:t", tsi=1, **kw)
+    return sender, collector
+
+
+def nak(seq, rx="rx", lead=0, loss=0, fake=False):
+    return Nak(1, seq, ReceiverReport(rx, lead, loss), fake=fake)
+
+
+def send_to_src(net, msg, size=100):
+    net.host("rx").send(Packet("rx", "src", size, msg, C.PROTO))
+
+
+class TestDataSources:
+    def test_bulk_source_infinite(self):
+        src = BulkSource(1400)
+        assert src.has_data()
+        assert src.peek_size() == 1400
+        assert src.next_payload() == (1400, b"")
+
+    def test_finite_source_exhausts(self):
+        src = FiniteSource([b"ab", b"cde"])
+        assert src.peek_size() == 2
+        assert src.next_payload() == (2, b"ab")
+        assert src.remaining == 1
+        src.next_payload()
+        assert not src.has_data()
+
+
+class TestStartupAndClock:
+    def test_first_packet_marked_elicit(self, wire):
+        sender, collector = make_sender(wire)
+        sender.start()
+        wire.run(until=0.5)
+        odatas = collector.payloads(OData)
+        assert odatas
+        assert odatas[0].elicit_nak
+        assert odatas[0].seq == 0
+
+    def test_single_packet_until_acker_elected(self, wire):
+        """W=T=1 at start: exactly one packet can go out before the
+        election restores the clock."""
+        sender, collector = make_sender(wire)
+        sender.start()
+        wire.run(until=0.05)  # before any NAK can arrive back
+        assert len(collector.payloads(OData)) == 1
+
+    def test_fake_nak_elects_and_resumes(self, wire):
+        sender, collector = make_sender(wire)
+        sender.start()
+        wire.run(until=0.2)
+        send_to_src(wire, nak(0, fake=True))
+        wire.run(until=0.5)
+        assert sender.current_acker == "rx"
+        assert sender.odata_sent >= 2
+        # subsequent data carries the acker id
+        assert collector.payloads(OData)[-1].acker_id == "rx"
+
+    def test_double_start_rejected(self, wire):
+        sender, _ = make_sender(wire)
+        sender.start()
+        with pytest.raises(RuntimeError):
+            sender.start()
+
+    def test_spm_heartbeat(self, wire):
+        sender, collector = make_sender(wire, spm_ivl=0.1)
+        sender.start()
+        wire.run(until=1.05)
+        spms = collector.payloads(Spm)
+        assert len(spms) >= 10
+        assert spms[0].path == "src"
+
+
+class TestAckDriven:
+    def ack(self, seq, received, lead=None, rx="rx"):
+        lead = lead if lead is not None else max(received)
+        return Ack(1, seq, build_bitmap(seq, received),
+                   ReceiverReport(rx, lead, 0))
+
+    def test_acks_sustain_transmission(self, wire):
+        sender, collector = make_sender(wire)
+        sender.start()
+        wire.run(until=0.2)
+        send_to_src(wire, nak(0, fake=True))
+
+        # echo an ACK for every ODATA the receiver sees
+        class AckingCollector(Collector):
+            def handle_packet(self, packet):
+                super().handle_packet(packet)
+                msg = packet.payload
+                if isinstance(msg, OData):
+                    received.add(msg.seq)
+                    ack = Ack(1, msg.seq, build_bitmap(msg.seq, received),
+                              ReceiverReport("rx", msg.seq, 0))
+                    wire.host("rx").send(Packet("rx", "src", 100, ack, C.PROTO))
+
+        received = set()
+        wire.host("rx").unregister_agent(C.PROTO)
+        acker = AckingCollector()
+        wire.host("rx").register_agent(C.PROTO, acker)
+        wire.run(until=5.0)
+        # the ack clock must keep the session flowing without stalls
+        assert sender.odata_sent > 100
+        assert sender.controller.stalls == 0
+
+    def test_stall_without_acks(self, wire):
+        sender, _ = make_sender(wire)
+        sender.start()
+        wire.run(until=0.2)
+        send_to_src(wire, nak(0, fake=True))
+        wire.run(until=30.0)
+        assert sender.controller.stalls >= 1
+
+
+class TestRepairs:
+    def start_elected(self, wire, **kw):
+        sender, collector = make_sender(wire, **kw)
+        sender.start()
+        wire.run(until=0.2)
+        send_to_src(wire, nak(0, fake=True))
+        wire.run(until=0.3)
+        return sender, collector
+
+    def test_nak_triggers_rdata_and_ncf(self, wire):
+        sender, collector = self.start_elected(wire)
+        send_to_src(wire, nak(0))
+        wire.run(until=1.0)
+        rdatas = collector.payloads(RData)
+        assert [r.seq for r in rdatas] == [0]
+        assert any(n.seq == 0 for n in collector.payloads(Ncf))
+
+    def test_duplicate_nak_held_off(self, wire):
+        sender, collector = self.start_elected(wire)
+        send_to_src(wire, nak(0))
+        wire.run(until=0.4)
+        send_to_src(wire, nak(0))  # within holdoff
+        wire.run(until=0.6)
+        assert len(collector.payloads(RData)) == 1
+
+    def test_nak_list_repairs_all(self, wire):
+        sender, collector = self.start_elected(wire)
+        wire.run(until=2.0)  # let several packets flow... at W small
+        # force availability of seqs 0..2 in the tx window
+        assert sender.odata_sent >= 1
+        msg = Nak(1, 0, ReceiverReport("rx", 0, 0), extra_seqs=(0,))
+        send_to_src(wire, msg)
+        wire.run(until=2.5)
+        assert len(collector.payloads(RData)) >= 1
+
+    def test_unreliable_mode_sends_no_rdata(self, wire):
+        sender, collector = self.start_elected(wire, reliable=False)
+        send_to_src(wire, nak(0))
+        wire.run(until=1.0)
+        assert collector.payloads(RData) == []
+        assert sender.rdata_sent == 0
+
+    def test_fake_nak_no_repair(self, wire):
+        sender, collector = self.start_elected(wire)
+        send_to_src(wire, nak(0, fake=True))
+        wire.run(until=1.0)
+        assert collector.payloads(RData) == []
+
+    def test_nak_beyond_trail_ignored(self, wire):
+        sender, collector = self.start_elected(wire)
+        send_to_src(wire, nak(10_000))
+        wire.run(until=1.0)
+        assert collector.payloads(RData) == []
+
+
+class TestCcDisabled:
+    def test_plain_pgm_sends_at_rate_limit(self, wire):
+        """§3.1: with cc disabled the sender is a plain rate-limited
+        PGM source needing no ACKs."""
+        sender, collector = make_sender(
+            wire, cc=CcConfig(enabled=False), max_rate_bps=400_000
+        )
+        sender.start()
+        wire.run(until=10.0)
+        rate = sender.bytes_sent * 8 / 10.0
+        assert rate == pytest.approx(400_000, rel=0.15)
+        assert sender.controller.stalls == 0
+
+
+class TestBookkeeping:
+    def test_nak_origin_accounting(self, wire):
+        sender, _ = make_sender(wire)
+        sender.start()
+        wire.run(until=0.2)
+        send_to_src(wire, nak(0, rx="a", fake=True))
+        send_to_src(wire, nak(0, rx="b"))
+        send_to_src(wire, nak(0, rx="a"))
+        wire.run(until=0.5)
+        assert sender.nak_origins == {"a": 2, "b": 1}
+
+    def test_trace_records(self, wire):
+        sender, _ = make_sender(wire)
+        sender.start()
+        wire.run(until=0.2)
+        send_to_src(wire, nak(0, fake=True))
+        wire.run(until=1.0)
+        assert sender.trace.count("data") == sender.odata_sent
+        assert sender.trace.count("nak") == 1
+
+    def test_close_stops_everything(self, wire):
+        sender, collector = make_sender(wire)
+        sender.start()
+        wire.run(until=0.2)
+        sender.close()
+        sent = len(collector.payloads(OData))
+        wire.run(until=5.0)
+        assert len(collector.payloads(OData)) == sent

@@ -1,0 +1,40 @@
+"""Tests for the sender's window-trajectory trace records."""
+
+from repro.pgm import create_session
+from repro.simulator import NON_LOSSY, dumbbell
+
+
+class TestWindowTrace:
+    def test_samples_recorded(self):
+        net = dumbbell(1, 1, NON_LOSSY, seed=66)
+        session = create_session(net, "h0", ["r0"])
+        net.run(until=30.0)
+        samples = session.trace.of_kind("window")
+        assert len(samples) > 10
+        # values are W in hundredths of a packet: at least 1.0
+        assert all(r.seq >= 100 for r in samples)
+        session.close()
+
+    def test_sawtooth_shape_on_congested_link(self):
+        """On a clean bottleneck the window climbs to the pipe size,
+        halves on queue overflow, climbs again — the AIMD sawtooth."""
+        net = dumbbell(1, 1, NON_LOSSY, seed=67)
+        session = create_session(net, "h0", ["r0"])
+        net.run(until=60.0)
+        values = [r.seq / 100 for r in session.trace.of_kind("window")
+                  if r.time > 10.0]
+        assert max(values) > 2 * min(values)  # real oscillation
+        # every cc-loss coincides with a window sample (logged together)
+        losses = session.trace.count("cc-loss")
+        assert losses >= 1
+        session.close()
+
+    def test_window_bounded_by_pipe(self):
+        """W never runs far beyond BDP + queue (realignment works)."""
+        net = dumbbell(1, 1, NON_LOSSY, seed=68)
+        session = create_session(net, "h0", ["r0"])
+        net.run(until=60.0)
+        values = [r.seq / 100 for r in session.trace.of_kind("window")]
+        # BDP ≈ 4-5 pkts + 30-slot queue; allow generous slack
+        assert max(values) < 80
+        session.close()

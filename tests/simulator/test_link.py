@@ -1,0 +1,132 @@
+"""Unit tests for the rate/delay/queue/loss link."""
+
+import random
+
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.simulator.link import Link
+from repro.simulator.loss_models import BernoulliLoss, DeterministicLoss
+from repro.simulator.packet import Packet
+from repro.simulator.queues import DropTailQueue
+
+
+def make_link(sim, rate=8000.0, delay=0.1, **kw):
+    received = []
+    link = Link(sim, "L", rate_bps=rate, delay=delay,
+                deliver=received.append, **kw)
+    return link, received
+
+
+class TestTiming:
+    def test_serialization_plus_propagation(self):
+        sim = Simulator()
+        link, received = make_link(sim, rate=8000.0, delay=0.1)
+        arrival = []
+        link.add_observer(
+            lambda t, ev, p: arrival.append(t) if ev == "deliver" else None
+        )
+        link.send(Packet("a", "b", 100))  # 100B at 8000bps = 0.1s tx
+        sim.run()
+        assert arrival == [pytest.approx(0.2)]
+
+    def test_back_to_back_packets_queue(self):
+        sim = Simulator()
+        link, received = make_link(sim, rate=8000.0, delay=0.0)
+        times = []
+        link.add_observer(lambda t, ev, p: times.append(t) if ev == "deliver" else None)
+        link.send(Packet("a", "b", 100))
+        link.send(Packet("a", "b", 100))
+        sim.run()
+        # second waits for the first's serialisation
+        assert times == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_throughput_matches_rate(self):
+        sim = Simulator()
+        link, received = make_link(sim, rate=80_000.0, delay=0.01,
+                                   queue=DropTailQueue(max_slots=1000))
+        for _ in range(100):
+            link.send(Packet("a", "b", 100))
+        sim.run()
+        # 100 packets x 100B = 80_000 bits at 80kbit/s -> 1.0s + delay
+        assert sim.now == pytest.approx(1.01)
+        assert len(received) == 100
+
+
+class TestDrops:
+    def test_queue_overflow_drops(self):
+        sim = Simulator()
+        link, received = make_link(sim, queue=DropTailQueue(max_slots=2))
+        for _ in range(5):
+            link.send(Packet("a", "b", 100))
+        sim.run()
+        # 1 in transmission + 2 queued = 3 delivered
+        assert len(received) == 3
+        assert link.queue_drops == 2
+
+    def test_random_loss_consumes_no_bandwidth(self):
+        sim = Simulator()
+        link, received = make_link(sim, loss=DeterministicLoss([1]))
+        assert not link.send(Packet("a", "b", 100))
+        assert link.random_drops == 1
+        link.send(Packet("a", "b", 100))
+        sim.run()
+        # the surviving packet transmits immediately (first was pre-drop)
+        assert sim.now == pytest.approx(0.2)
+        assert len(received) == 1
+
+    def test_bernoulli_loss_rate(self):
+        sim = Simulator()
+        link, received = make_link(
+            sim, rate=1e9, delay=0.0,
+            loss=BernoulliLoss(0.3, random.Random(7)),
+            queue=DropTailQueue(max_slots=100000),
+        )
+        n = 5000
+        for _ in range(n):
+            link.send(Packet("a", "b", 100))
+        sim.run()
+        rate = link.random_drops / n
+        assert 0.27 < rate < 0.33
+
+    def test_send_returns_false_on_drop(self):
+        sim = Simulator()
+        link, _ = make_link(sim, queue=DropTailQueue(max_slots=1))
+        assert link.send(Packet("a", "b", 100))  # transmitting
+        assert link.send(Packet("a", "b", 100))  # queued
+        assert not link.send(Packet("a", "b", 100))  # dropped
+
+
+class TestAccounting:
+    def test_counters(self):
+        sim = Simulator()
+        link, received = make_link(sim)
+        for _ in range(3):
+            link.send(Packet("a", "b", 50))
+        sim.run()
+        assert link.sent == 3
+        assert link.delivered == 3
+        assert link.bytes_delivered == 150
+
+    def test_observer_event_sequence(self):
+        sim = Simulator()
+        link, _ = make_link(sim)
+        events = []
+        link.add_observer(lambda t, ev, p: events.append(ev))
+        link.send(Packet("a", "b", 100))
+        sim.run()
+        assert events == ["send", "deliver"]
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, "bad", rate_bps=0, delay=0.1)
+        with pytest.raises(ValueError):
+            Link(sim, "bad", rate_bps=1000, delay=-1)
+
+    def test_utilization(self):
+        sim = Simulator()
+        link, _ = make_link(sim, rate=8000.0, delay=0.0)
+        link.send(Packet("a", "b", 100))
+        sim.run(until=1.0)
+        assert link.utilization_bps == pytest.approx(800.0)

@@ -1,0 +1,123 @@
+"""Direct unit tests for route computation."""
+
+import networkx as nx
+import pytest
+
+from repro.simulator import ACCESS, LinkSpec, Network
+from repro.simulator.routing import (
+    build_graph,
+    compute_multicast_tree,
+    install_multicast_tree,
+    install_unicast_routes,
+)
+
+
+def diamond():
+    """a - {top, bot} - b, with the top path faster."""
+    net = Network(seed=1)
+    for h in ("a", "b"):
+        net.add_host(h)
+    for r in ("top", "bot"):
+        net.add_router(r)
+    fast = LinkSpec(1e6, 0.001, queue_slots=10)
+    slow = LinkSpec(1e6, 0.1, queue_slots=10)
+    net.duplex_link("a", "top", fast)
+    net.duplex_link("top", "b", fast)
+    net.duplex_link("a", "bot", slow)
+    net.duplex_link("bot", "b", slow)
+    return net
+
+
+class TestGraph:
+    def test_build_graph_edges_weighted_by_delay(self):
+        net = diamond()
+        graph = build_graph(net.nodes, net.link_delays)
+        assert graph.has_edge("a", "top")
+        assert graph["a"]["top"]["weight"] < graph["a"]["bot"]["weight"]
+
+    def test_directed(self):
+        net = Network(seed=2)
+        net.add_host("a")
+        net.add_host("b")
+        net.simplex_link("a", "b", ACCESS)
+        graph = build_graph(net.nodes, net.link_delays)
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("b", "a")
+
+
+class TestUnicast:
+    def test_next_hops_follow_cheapest_path(self):
+        net = diamond()
+        graph = build_graph(net.nodes, net.link_delays)
+        install_unicast_routes(graph, net.nodes)
+        assert net.nodes["a"].unicast_routes["b"] == "top"
+        assert net.nodes["b"].unicast_routes["a"] == "top"
+
+    def test_no_self_route(self):
+        net = diamond()
+        graph = build_graph(net.nodes, net.link_delays)
+        install_unicast_routes(graph, net.nodes)
+        assert "a" not in net.nodes["a"].unicast_routes
+
+    def test_unreachable_destination_raises_at_send_time_only(self):
+        """Partitioned nodes simply get no route entry."""
+        net = Network(seed=3)
+        net.add_host("a")
+        net.add_host("island")
+        graph = build_graph(net.nodes, net.link_delays)
+        install_unicast_routes(graph, net.nodes)
+        assert "island" not in net.nodes["a"].unicast_routes
+
+
+class TestMulticastTree:
+    def test_tree_is_union_of_shortest_paths(self):
+        net = diamond()
+        graph = build_graph(net.nodes, net.link_delays)
+        tree = compute_multicast_tree(graph, "a", ["b"])
+        assert tree["a"] == {"top"}
+        assert tree["top"] == {"b"}
+        assert "bot" not in tree
+
+    def test_source_as_member_skipped(self):
+        net = diamond()
+        graph = build_graph(net.nodes, net.link_delays)
+        tree = compute_multicast_tree(graph, "a", ["a", "b"])
+        assert tree["a"] == {"top"}
+
+    def test_shared_trunk_single_entry(self):
+        """Two members behind the same branch share tree edges."""
+        net = Network(seed=4)
+        net.add_host("s")
+        net.add_router("R")
+        net.add_host("m1")
+        net.add_host("m2")
+        net.duplex_link("s", "R", ACCESS)
+        net.duplex_link("R", "m1", ACCESS)
+        net.duplex_link("R", "m2", ACCESS)
+        graph = build_graph(net.nodes, net.link_delays)
+        tree = compute_multicast_tree(graph, "s", ["m1", "m2"])
+        assert tree["s"] == {"R"}
+        assert tree["R"] == {"m1", "m2"}
+
+    def test_install_overwrites_previous_tree(self):
+        net = Network(seed=5)
+        net.add_host("s")
+        net.add_router("R")
+        net.add_host("m1")
+        net.add_host("m2")
+        net.duplex_link("s", "R", ACCESS)
+        net.duplex_link("R", "m1", ACCESS)
+        net.duplex_link("R", "m2", ACCESS)
+        graph = build_graph(net.nodes, net.link_delays)
+        install_multicast_tree(graph, net.nodes, "mc:g", "s", ["m1", "m2"])
+        assert net.nodes["R"].multicast_routes["mc:g"] == {"m1", "m2"}
+        install_multicast_tree(graph, net.nodes, "mc:g", "s", ["m1"])
+        assert net.nodes["R"].multicast_routes["mc:g"] == {"m1"}
+
+    def test_unreachable_member_raises(self):
+        net = Network(seed=6)
+        net.add_host("s")
+        net.add_host("island")
+        graph = build_graph(net.nodes, net.link_delays)
+        with pytest.raises(nx.NetworkXNoPath):
+            compute_multicast_tree(graph, "s", ["island"])
