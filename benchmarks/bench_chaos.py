@@ -1,0 +1,27 @@
+"""EXP-CHAOS — scripted fault injection (acker crash, bottleneck flap,
+burst loss, duplication, corruption, receiver pause) with the runtime
+invariant checker attached as the oracle."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import robustness
+
+
+def test_bench_chaos(benchmark):
+    result = benchmark.pedantic(
+        robustness.run_chaos, kwargs={"scale": max(BENCH_SCALE, 0.3)},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    # every scheduled episode actually fired
+    assert result.metrics["faults_fired"] >= 8
+    assert result.metrics["crashes"] == 1
+    assert result.metrics["link_downs"] >= 3
+    # the acker crash forced a re-election and the session kept going
+    assert result.metrics["switches"] >= 1
+    assert result.metrics["rate"] > 50_000
+    assert result.metrics["longest_gap"] < 10.0  # never wedged
+    # link flaps restart via the stall machinery rather than deadlock
+    assert result.metrics["stalls"] >= 1
+    # the whole run is invariant-clean
+    assert result.metrics["violations"] == 0

@@ -15,13 +15,36 @@
   average rate.  The per-packet low-pass filter weighs every lost
   packet, so bursts inflate the loss estimate relative to TFRC's
   loss-event counting; the session survives both.
+
+* EXP-CHAOS: a scripted :class:`~repro.simulator.faults.FaultPlan`
+  (acker crash, bottleneck flap, burst loss, duplication, corruption,
+  receiver pause) runs against a dumbbell session with the runtime
+  :class:`~repro.pgm.invariants.InvariantChecker` attached as the
+  oracle.  The session must survive every episode with zero invariant
+  violations: crashes are absorbed by re-election (§3.5), a dead
+  bottleneck drains the ACK clock until the stall machinery restarts
+  from W = T = 1 (§3.2/§3.6), and duplicated or reordered traffic is
+  absorbed by the ACK bitmap (§3.3).
 """
 
 from __future__ import annotations
 
 from ..analysis import throughput_bps
 from ..pgm import add_receiver, create_session
-from ..simulator import GilbertElliottLoss, LinkSpec, Network
+from ..simulator import (
+    ACKER,
+    BurstLoss,
+    Corruption,
+    Duplication,
+    FaultPlan,
+    GilbertElliottLoss,
+    LinkSpec,
+    Network,
+    NodeCrash,
+    NodePause,
+    dumbbell,
+    flap_link,
+)
 from .common import ExperimentResult, kbps
 
 ACCESS = LinkSpec(100_000_000, 0.0005, queue_slots=1000)
@@ -245,8 +268,87 @@ def run_bursty_loss(scale: float = 1.0, seed: int = 79) -> ExperimentResult:
     return result
 
 
+def chaos_plan(duration: float) -> FaultPlan:
+    """The EXP-CHAOS fault schedule, laid out over ``duration`` seconds.
+
+    Episode times are fractions of the run so the same shape holds at
+    any ``scale``: crash the current acker a quarter in, flap the
+    bottleneck around the midpoint, then a burst-loss episode, a
+    duplication episode, a corruption episode, and a receiver pause in
+    the final third.
+    """
+    return FaultPlan(episodes=(
+        NodeCrash(node=ACKER, at=0.25 * duration),
+        *flap_link("R0", "R1", first_at=0.45 * duration,
+                   down_for=0.02 * duration, up_for=0.05 * duration, cycles=3),
+        BurstLoss("R0", "R1", at=0.70 * duration, duration=0.03 * duration,
+                  loss_rate=0.8),
+        Duplication("R0", "R1", at=0.75 * duration, duration=0.08 * duration,
+                    rate=0.2),
+        Corruption("R0", "R1", at=0.80 * duration, duration=0.08 * duration,
+                   rate=0.05),
+        NodePause(node="r1", at=0.85 * duration, duration=0.05 * duration),
+    ))
+
+
+def run_chaos(scale: float = 1.0, seed: int = 83,
+              n_receivers: int = 4) -> ExperimentResult:
+    """EXP-CHAOS: scripted fault injection with the invariant oracle on."""
+    duration = 120.0 * scale
+    net = dumbbell(1, n_receivers, LinkSpec(500_000, 0.050, queue_slots=30),
+                   seed=seed)
+    plan = chaos_plan(duration)
+    session = create_session(
+        net, "h0", [f"r{i}" for i in range(n_receivers)],
+        trace_name="chaos", faults=plan,
+        check_invariants=True, strict_invariants=False,
+    )
+    net.run(until=duration)
+    session.invariants.verify_now()
+
+    rate = throughput_bps(session.trace, duration / 4, duration)
+    quiet_gap = _longest_data_gap(session.trace, duration / 4, duration)
+    injector = session.fault_injector
+    checker = session.invariants
+    result = ExperimentResult(
+        name="chaos-fault-injection",
+        params={"scale": scale, "seed": seed, "n_receivers": n_receivers,
+                "episodes": len(plan)},
+        expectation=(
+            "the session survives an acker crash, a flapping bottleneck, "
+            "burst loss, duplication, corruption and a paused receiver "
+            "without stalling permanently and with zero runtime invariant "
+            "violations; link flaps restart the window from W = T = 1 "
+            "(§3.2) rather than deadlocking"
+        ),
+    )
+    result.add_row(
+        faults_fired=len(injector.log),
+        rate_kbps=kbps(rate),
+        acker_switches=session.acker_switches,
+        stalls=session.sender.controller.stalls,
+        longest_tx_gap_s=round(quiet_gap, 2),
+        invariant_sweeps=checker.checks_run,
+        violations=len(checker.violations),
+    )
+    result.metrics.update(
+        rate=rate,
+        faults_fired=len(injector.log),
+        crashes=len(injector.actions("crash")),
+        link_downs=len(injector.actions("link-down")),
+        switches=session.acker_switches,
+        stalls=session.sender.controller.stalls,
+        longest_gap=quiet_gap,
+        invariant_sweeps=checker.checks_run,
+        violations=len(checker.violations),
+        odata_sent=session.sender.odata_sent,
+    )
+    session.close()
+    return result
+
+
 def main() -> None:  # pragma: no cover - CLI convenience
-    for fn in (run_multipath, run_churn, run_bursty_loss):
+    for fn in (run_multipath, run_churn, run_bursty_loss, run_chaos):
         print(fn(scale=0.5).report())
         print()
 

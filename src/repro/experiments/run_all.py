@@ -51,6 +51,7 @@ RUNS = [
     ("EXP-MPATH", lambda s: robustness.run_multipath(scale=s / 2)),
     ("EXP-CHURN", lambda s: robustness.run_churn(scale=s / 2)),
     ("ABL-BURST", lambda s: robustness.run_bursty_loss(scale=s / 2)),
+    ("EXP-CHAOS", lambda s: robustness.run_chaos(scale=s / 2)),
     ("ABL-DELACK", lambda s: ablations.run_delayed_acks(scale=s / 2)),
     ("EXP-SWEEP", lambda s: fairness_sweep.run(scale=s / 2)),
     ("EXP-SCALE", lambda s: scalability.run(scale=s / 2)),

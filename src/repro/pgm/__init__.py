@@ -11,6 +11,7 @@ Public surface::
 
 from . import constants
 from .fec import FecAssembler, FecPayload, FecSource, attach_fec_receiver
+from .invariants import InvariantChecker, InvariantViolation, Violation
 from .network_element import PgmNetworkElement
 from .packets import Ack, Nak, Ncf, OData, PgmMessage, RData, Spm, decode
 from .rate_limiter import TokenBucket
@@ -25,6 +26,9 @@ from .session import (
 
 __all__ = [
     "constants",
+    "InvariantChecker",
+    "InvariantViolation",
+    "Violation",
     "FecAssembler",
     "FecPayload",
     "FecSource",

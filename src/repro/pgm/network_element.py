@@ -57,6 +57,11 @@ class PgmNetworkElement:
         self.rx_loss_aware = rx_loss_aware
         self.selective_repair = selective_repair
         self.state_lifetime = state_lifetime
+        #: fault-injection hook: a disabled NE passes every packet
+        #: through untouched, degrading the router to plain forwarding
+        #: (the incremental-deployment fallback, §3.1).  Existing NAK
+        #: state is retained for when the element comes back.
+        self.enabled = True
         self._nak_state: dict[tuple[int, int], _NakEntry] = {}
         self._fake_seen: dict[tuple[int, int], float] = {}
         #: upstream PGM hop per session, learned from SPM arrivals
@@ -76,6 +81,8 @@ class PgmNetworkElement:
     # -- interceptor entry point ---------------------------------------------
 
     def intercept(self, packet: Packet, from_node: str) -> bool:
+        if not self.enabled:
+            return False
         msg = packet.payload
         if isinstance(msg, Spm):
             return self._handle_spm(packet, msg, from_node)

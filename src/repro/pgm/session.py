@@ -15,6 +15,7 @@ from ..core.sender_cc import CcConfig
 from ..simulator.topology import Network
 from ..simulator.trace import FlowTrace
 from . import constants as C
+from .invariants import InvariantChecker
 from .network_element import PgmNetworkElement
 from .receiver import PgmReceiver
 from .sender import DataSource, PgmSender
@@ -31,6 +32,10 @@ class PgmSession:
     tsi: int
     #: every host (by name) currently subscribed
     members: list[str] = field(default_factory=list)
+    #: fault injector compiled from ``create_session(faults=...)``
+    fault_injector: Optional[object] = None
+    #: runtime invariant checker from ``create_session(check_invariants=...)``
+    invariants: Optional[InvariantChecker] = None
 
     @property
     def trace(self) -> FlowTrace:
@@ -57,6 +62,8 @@ class PgmSession:
         self.sender.close()
         for rx in self.receivers:
             rx.close()
+        if self.invariants is not None:
+            self.invariants.detach()
 
     def summary(self) -> dict:
         """One-call session statistics (for reports and examples)."""
@@ -106,8 +113,20 @@ def create_session(
     on_token=None,
     filter_w: Optional[int] = None,
     estimator: str = "filter",
+    faults=None,
+    check_invariants: bool = False,
+    strict_invariants: bool = True,
 ) -> PgmSession:
-    """Create and schedule a full PGM/pgmcc session on ``net``."""
+    """Create and schedule a full PGM/pgmcc session on ``net``.
+
+    ``faults`` takes a :class:`~repro.simulator.faults.FaultPlan` and
+    compiles it onto the network with this session resolving the
+    :data:`~repro.simulator.faults.ACKER` sentinel;
+    ``check_invariants=True`` attaches a runtime
+    :class:`~repro.pgm.invariants.InvariantChecker`
+    (``strict_invariants=False`` collects violations instead of
+    raising).  Both handles live on the returned session.
+    """
     if tsi is None:
         tsi = net.next_tsi()
     if group is None:
@@ -132,6 +151,14 @@ def create_session(
         session.receivers.append(
             _make_receiver(net, session, host_name, reliable, echo_timestamps,
                            filter_w, estimator)
+        )
+    if check_invariants:
+        session.invariants = InvariantChecker(
+            session, strict=strict_invariants
+        ).attach()
+    if faults is not None:
+        session.fault_injector = net.install_faults(
+            faults, acker_lookup=lambda: sender.current_acker
         )
     if start_at <= 0:
         # Schedule rather than call so construction order never matters.

@@ -5,10 +5,27 @@ Public surface::
     from repro.simulator import (
         Simulator, Timer, Network, LinkSpec, Link, Packet,
         NON_LOSSY, LOSSY, ACCESS, dumbbell, star, two_bottleneck,
+        FaultPlan, FaultInjector, LinkDown, NodeCrash, ACKER, ...,
     )
 """
 
 from .engine import Event, Simulator, Timer
+from .faults import (
+    ACKER,
+    BurstLoss,
+    Corruption,
+    Duplication,
+    ElementDown,
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+    LinkDown,
+    LinkImpairment,
+    NodeCrash,
+    NodePause,
+    NodeResume,
+    flap_link,
+)
 from .link import Link
 from .loss_models import (
     BernoulliLoss,
@@ -37,6 +54,20 @@ __all__ = [
     "Event",
     "Simulator",
     "Timer",
+    "ACKER",
+    "BurstLoss",
+    "Corruption",
+    "Duplication",
+    "ElementDown",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "LinkDown",
+    "LinkImpairment",
+    "NodeCrash",
+    "NodePause",
+    "NodeResume",
+    "flap_link",
     "Link",
     "BernoulliLoss",
     "DeterministicLoss",

@@ -1,0 +1,566 @@
+"""Deterministic, seed-reproducible fault injection.
+
+The paper's robustness claims — reordering tolerance through the ACK
+bitmap (§3.3), acker loss handled as a *move* rather than a congestion
+signal (§3.5–§3.6), stall recovery at ``W = T = 1`` (§3.2) — are all
+statements about behaviour *under faults*.  This module provides the
+scriptable chaos layer that exercises them: a :class:`FaultPlan` is a
+declarative schedule of timed fault episodes, and a
+:class:`FaultInjector` compiles it onto the existing
+:class:`~repro.simulator.engine.Simulator` event heap, driving the
+hook points built into :class:`~repro.simulator.link.Link` and
+:class:`~repro.simulator.node.Node` (and, through duck typing, any
+router-resident interceptor exposing an ``enabled`` flag, such as
+:class:`~repro.pgm.network_element.PgmNetworkElement`).
+
+Episode catalogue::
+
+    LinkDown(a, b, at, duration)        ingress blackout (link_down/link_up)
+    LinkImpairment(a, b, at, duration,  transient bandwidth / delay /
+                   rate_bps, delay,     random-loss change
+                   loss_rate)
+    BurstLoss(a, b, at, duration)       loss_rate=1.0 burst episode
+    Duplication(a, b, at, duration)     per-packet duplication stage
+    Corruption(a, b, at, duration)      per-packet corruption stage
+    NodePause(node, at, duration)       freeze a node's data plane
+    NodeResume(node, at)                explicit un-pause
+    NodeCrash(node, at)                 permanent kill (node may be ACKER)
+    ElementDown(router, at, duration)   disable a router's interceptor
+
+Determinism: every random decision (duplication, corruption, episode
+loss models) draws from named :class:`~repro.simulator.rng.RngRegistry`
+streams keyed by link name, so the same ``(seed, plan)`` pair yields
+byte-identical traces run after run — the property the chaos test
+suite is built on.
+
+Overlap semantics: overlapping episodes touching the same knob stack;
+the most recently started active episode wins, and when it ends the
+next one down (or the base value) is restored.  ``LinkDown`` episodes
+are reference-counted, so nested outages compose.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+from .link import Link
+from .loss_models import BernoulliLoss
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .topology import Network
+
+#: Sentinel node name: resolved at fire time to the session's current
+#: acker (requires an ``acker_lookup`` on the injector).
+ACKER = "@acker"
+
+
+def _check_at(at: float) -> None:
+    if at < 0:
+        raise ValueError(f"episode time must be >= 0, got {at}")
+
+
+def _check_duration(duration: Optional[float]) -> None:
+    if duration is not None and duration <= 0:
+        raise ValueError(f"episode duration must be > 0, got {duration}")
+
+
+def _check_rate(name: str, rate: float) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+
+@dataclass(frozen=True)
+class LinkDown:
+    """Take the ``a -> b`` link down at ``at`` (both directions by
+    default); bring it back after ``duration`` (``None`` = forever)."""
+
+    a: str
+    b: str
+    at: float
+    duration: Optional[float] = None
+    both: bool = True
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_duration(self.duration)
+
+
+@dataclass(frozen=True)
+class LinkImpairment:
+    """Transient bandwidth / propagation-delay / random-loss change."""
+
+    a: str
+    b: str
+    at: float
+    duration: float
+    rate_bps: Optional[float] = None
+    delay: Optional[float] = None
+    loss_rate: Optional[float] = None
+    both: bool = True
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_duration(self.duration)
+        if self.rate_bps is None and self.delay is None and self.loss_rate is None:
+            raise ValueError("LinkImpairment must change at least one knob")
+        if self.rate_bps is not None and self.rate_bps <= 0:
+            raise ValueError(f"rate_bps must be positive, got {self.rate_bps}")
+        if self.delay is not None and self.delay < 0:
+            raise ValueError(f"delay cannot be negative, got {self.delay}")
+        if self.loss_rate is not None:
+            _check_rate("loss_rate", self.loss_rate)
+
+
+@dataclass(frozen=True)
+class BurstLoss:
+    """A burst-loss episode: ``loss_rate`` (default: drop everything)
+    applied to the link for ``duration`` seconds."""
+
+    a: str
+    b: str
+    at: float
+    duration: float
+    loss_rate: float = 1.0
+    both: bool = False
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_duration(self.duration)
+        _check_rate("loss_rate", self.loss_rate)
+
+
+@dataclass(frozen=True)
+class Duplication:
+    """Duplicate each packet with probability ``rate`` during the episode."""
+
+    a: str
+    b: str
+    at: float
+    duration: float
+    rate: float = 0.1
+    both: bool = False
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_duration(self.duration)
+        _check_rate("rate", self.rate)
+
+
+@dataclass(frozen=True)
+class Corruption:
+    """Corrupt (checksum-drop) each packet with probability ``rate``."""
+
+    a: str
+    b: str
+    at: float
+    duration: float
+    rate: float = 0.1
+    both: bool = False
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_duration(self.duration)
+        _check_rate("rate", self.rate)
+
+
+@dataclass(frozen=True)
+class NodePause:
+    """Freeze ``node``'s data plane at ``at``; auto-resume after
+    ``duration`` (``None`` = until an explicit :class:`NodeResume`)."""
+
+    node: str
+    at: float
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_duration(self.duration)
+
+
+@dataclass(frozen=True)
+class NodeResume:
+    """Explicitly resume a paused node."""
+
+    node: str
+    at: float
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Permanently kill ``node`` at ``at``.  ``node`` may be the
+    :data:`ACKER` sentinel, resolved at fire time to the session's
+    current acker."""
+
+    node: str
+    at: float
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+
+
+@dataclass(frozen=True)
+class ElementDown:
+    """Disable the interceptor (PGM network element) on ``router``,
+    degrading it to plain forwarding; re-enable after ``duration``."""
+
+    router: str
+    at: float
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_duration(self.duration)
+
+
+#: Every episode type a plan may carry.
+FaultEpisode = Union[
+    LinkDown,
+    LinkImpairment,
+    BurstLoss,
+    Duplication,
+    Corruption,
+    NodePause,
+    NodeResume,
+    NodeCrash,
+    ElementDown,
+]
+
+_EPISODE_TYPES = (
+    LinkDown,
+    LinkImpairment,
+    BurstLoss,
+    Duplication,
+    Corruption,
+    NodePause,
+    NodeResume,
+    NodeCrash,
+    ElementDown,
+)
+
+_LINK_EPISODES = (LinkDown, LinkImpairment, BurstLoss, Duplication, Corruption)
+
+
+def flap_link(
+    a: str,
+    b: str,
+    first_at: float,
+    down_for: float,
+    up_for: float,
+    cycles: int,
+    both: bool = True,
+) -> tuple[LinkDown, ...]:
+    """Convenience: ``cycles`` down/up flaps of the ``a<->b`` link."""
+    if cycles < 1:
+        raise ValueError("cycles must be >= 1")
+    if down_for <= 0 or up_for <= 0:
+        raise ValueError("down_for and up_for must be positive")
+    episodes = []
+    t = first_at
+    for _ in range(cycles):
+        episodes.append(LinkDown(a, b, at=t, duration=down_for, both=both))
+        t += down_for + up_for
+    return tuple(episodes)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, composable schedule of fault episodes.
+
+    Plans are immutable values: they can be composed with ``+``,
+    time-scaled with :meth:`scaled`, validated against a topology, and
+    compiled any number of times (each compilation is independent).
+    """
+
+    episodes: tuple[FaultEpisode, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "episodes", tuple(self.episodes))
+        for ep in self.episodes:
+            if not isinstance(ep, _EPISODE_TYPES):
+                raise TypeError(f"not a fault episode: {ep!r}")
+
+    def __add__(self, other: "FaultPlan") -> "FaultPlan":
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return FaultPlan(self.episodes + other.episodes)
+
+    def __len__(self) -> int:
+        return len(self.episodes)
+
+    def scaled(self, factor: float) -> "FaultPlan":
+        """Scale every episode's ``at`` (and ``duration``) by ``factor``
+        — the chaos analogue of the experiments' ``scale`` knob."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        scaled = []
+        for ep in self.episodes:
+            changes = {"at": ep.at * factor}
+            duration = getattr(ep, "duration", None)
+            if duration is not None:
+                changes["duration"] = duration * factor
+            scaled.append(replace(ep, **changes))
+        return FaultPlan(tuple(scaled))
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last scheduled state change."""
+        horizon = 0.0
+        for ep in self.episodes:
+            end = ep.at + (getattr(ep, "duration", None) or 0.0)
+            horizon = max(horizon, end)
+        return horizon
+
+    def validate_against(self, net: "Network") -> None:
+        """Raise if the plan references links or nodes ``net`` lacks."""
+        for ep in self.episodes:
+            if isinstance(ep, _LINK_EPISODES):
+                src = net.nodes.get(ep.a)
+                if src is None or ep.b not in src.links:
+                    raise ValueError(f"no link {ep.a}->{ep.b} for {ep!r}")
+                if ep.both and ep.a not in net.nodes[ep.b].links:
+                    raise ValueError(f"no reverse link {ep.b}->{ep.a} for {ep!r}")
+            elif isinstance(ep, (NodePause, NodeResume, NodeCrash)):
+                if ep.node != ACKER and ep.node not in net.nodes:
+                    raise ValueError(f"unknown node {ep.node!r} in {ep!r}")
+            elif isinstance(ep, ElementDown):
+                if ep.router not in net.nodes:
+                    raise ValueError(f"unknown router {ep.router!r} in {ep!r}")
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One applied fault action (the injector's audit log)."""
+
+    time: float
+    action: str
+    target: str
+
+
+class _LinkOverrides:
+    """Per-link stacked override state (base values + active episodes)."""
+
+    def __init__(self, link: Link, stage_rng, loss_rng):
+        self.link = link
+        self.stage_rng = stage_rng
+        self.loss_rng = loss_rng
+        self.base_rate = link.rate_bps
+        self.base_delay = link.delay
+        self.base_loss = link.loss
+        self.down_count = 0
+        self._stacks: dict[str, list[tuple[int, object]]] = {
+            "rate_bps": [],
+            "delay": [],
+            "loss": [],
+            "dup": [],
+            "corrupt": [],
+        }
+
+    def down(self) -> None:
+        self.down_count += 1
+        self.link.set_down()
+
+    def up(self) -> None:
+        self.down_count -= 1
+        if self.down_count <= 0:
+            self.down_count = 0
+            self.link.set_up()
+
+    def push(self, knob: str, token: int, value) -> None:
+        self._stacks[knob].append((token, value))
+        self._apply(knob)
+
+    def pop(self, knob: str, token: int) -> None:
+        stack = self._stacks[knob]
+        self._stacks[knob] = [entry for entry in stack if entry[0] != token]
+        self._apply(knob)
+
+    def _top(self, knob: str):
+        stack = self._stacks[knob]
+        return stack[-1][1] if stack else None
+
+    def _apply(self, knob: str) -> None:
+        top = self._top(knob)
+        if knob == "rate_bps":
+            self.link.rate_bps = self.base_rate if top is None else top
+        elif knob == "delay":
+            self.link.delay = self.base_delay if top is None else top
+        elif knob == "loss":
+            self.link.loss = self.base_loss if top is None else top
+        else:  # dup / corrupt share one configuration call
+            dup = self._top("dup") or 0.0
+            corrupt = self._top("corrupt") or 0.0
+            self.link.set_fault_stages(dup, corrupt, self.stage_rng)
+
+
+class FaultInjector:
+    """Compiles a :class:`FaultPlan` onto a network's event heap.
+
+    Args:
+        net: the target :class:`~repro.simulator.topology.Network`.
+        plan: the fault schedule.
+        acker_lookup: zero-argument callable returning the current
+            acker's host name (or ``None``); required for plans using
+            the :data:`ACKER` sentinel to do anything.
+        validate: check the plan against the topology up front.
+
+    All state changes are applied from simulator callbacks, so a
+    compiled injector is fully deterministic with respect to the
+    ``(seed, plan)`` pair.  Applied actions are recorded in
+    :attr:`log` for tests and experiment reports.
+    """
+
+    def __init__(
+        self,
+        net: "Network",
+        plan: FaultPlan,
+        acker_lookup: Optional[Callable[[], Optional[str]]] = None,
+        validate: bool = True,
+    ):
+        self.net = net
+        self.plan = plan
+        self.acker_lookup = acker_lookup
+        self.log: list[FaultRecord] = []
+        self._overrides: dict[str, _LinkOverrides] = {}
+        self._tokens = itertools.count(1)
+        if validate:
+            plan.validate_against(net)
+        for episode in plan.episodes:
+            self._compile(episode)
+
+    # -- public introspection ---------------------------------------------
+
+    @property
+    def actions_applied(self) -> int:
+        return len(self.log)
+
+    def actions(self, action: str) -> list[FaultRecord]:
+        return [r for r in self.log if r.action == action]
+
+    # -- compilation -------------------------------------------------------
+
+    def _at(self, time: float, fn, *args) -> None:
+        self.net.sim.schedule_at(max(time, self.net.sim.now), fn, *args)
+
+    def _record(self, action: str, target: str) -> None:
+        self.log.append(FaultRecord(self.net.sim.now, action, target))
+
+    def _links_for(self, a: str, b: str, both: bool) -> list[Link]:
+        links = [self.net.nodes[a].links[b]]
+        if both:
+            reverse = self.net.nodes[b].links.get(a)
+            if reverse is not None:
+                links.append(reverse)
+        return links
+
+    def _override_state(self, link: Link) -> _LinkOverrides:
+        state = self._overrides.get(link.name)
+        if state is None:
+            state = _LinkOverrides(
+                link,
+                stage_rng=self.net.rng.stream(f"fault-stage:{link.name}"),
+                loss_rng=self.net.rng.stream(f"fault-loss:{link.name}"),
+            )
+            self._overrides[link.name] = state
+        return state
+
+    def _compile(self, ep: FaultEpisode) -> None:
+        if isinstance(ep, LinkDown):
+            for link in self._links_for(ep.a, ep.b, ep.both):
+                state = self._override_state(link)
+                self._at(ep.at, self._link_down, state)
+                if ep.duration is not None:
+                    self._at(ep.at + ep.duration, self._link_up, state)
+        elif isinstance(ep, (LinkImpairment, BurstLoss)):
+            knobs: list[tuple[str, object]] = []
+            if isinstance(ep, BurstLoss):
+                knobs.append(("loss", ep.loss_rate))
+            else:
+                if ep.rate_bps is not None:
+                    knobs.append(("rate_bps", ep.rate_bps))
+                if ep.delay is not None:
+                    knobs.append(("delay", ep.delay))
+                if ep.loss_rate is not None:
+                    knobs.append(("loss", ep.loss_rate))
+            for link in self._links_for(ep.a, ep.b, ep.both):
+                state = self._override_state(link)
+                for knob, value in knobs:
+                    if knob == "loss":
+                        value = BernoulliLoss(value, state.loss_rng)
+                    token = next(self._tokens)
+                    self._at(ep.at, self._push, state, knob, token, value)
+                    self._at(ep.at + ep.duration, self._pop, state, knob, token)
+        elif isinstance(ep, (Duplication, Corruption)):
+            knob = "dup" if isinstance(ep, Duplication) else "corrupt"
+            for link in self._links_for(ep.a, ep.b, ep.both):
+                state = self._override_state(link)
+                token = next(self._tokens)
+                self._at(ep.at, self._push, state, knob, token, ep.rate)
+                self._at(ep.at + ep.duration, self._pop, state, knob, token)
+        elif isinstance(ep, NodePause):
+            self._at(ep.at, self._node_action, ep.node, "pause")
+            if ep.duration is not None:
+                self._at(ep.at + ep.duration, self._node_action, ep.node, "resume")
+        elif isinstance(ep, NodeResume):
+            self._at(ep.at, self._node_action, ep.node, "resume")
+        elif isinstance(ep, NodeCrash):
+            self._at(ep.at, self._node_action, ep.node, "crash")
+        elif isinstance(ep, ElementDown):
+            self._at(ep.at, self._element, ep.router, False)
+            if ep.duration is not None:
+                self._at(ep.at + ep.duration, self._element, ep.router, True)
+
+    # -- fire-time actions -------------------------------------------------
+
+    def _link_down(self, state: _LinkOverrides) -> None:
+        state.down()
+        self._record("link-down", state.link.name)
+
+    def _link_up(self, state: _LinkOverrides) -> None:
+        state.up()
+        self._record("link-up", state.link.name)
+
+    def _push(self, state: _LinkOverrides, knob: str, token: int, value) -> None:
+        state.push(knob, token, value)
+        self._record(f"{knob}-set", state.link.name)
+
+    def _pop(self, state: _LinkOverrides, knob: str, token: int) -> None:
+        state.pop(knob, token)
+        self._record(f"{knob}-restore", state.link.name)
+
+    def _node_action(self, name: str, action: str) -> None:
+        node = self._resolve_node(name)
+        if node is None:
+            self._record(f"{action}-skipped", name)
+            return
+        getattr(node, action)()
+        self._record(action, node.name)
+
+    def _resolve_node(self, name: str):
+        if name == ACKER:
+            if self.acker_lookup is None:
+                return None
+            acker = self.acker_lookup()
+            if acker is None:
+                return None
+            return self.net.nodes.get(acker)
+        return self.net.nodes.get(name)
+
+    def _element(self, router: str, enabled: bool) -> None:
+        node = self.net.nodes.get(router)
+        interceptor = getattr(node, "interceptor", None)
+        if interceptor is None or not hasattr(interceptor, "enabled"):
+            self._record("element-skipped", router)
+            return
+        interceptor.enabled = enabled
+        self._record("element-up" if enabled else "element-down", router)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FaultInjector episodes={len(self.plan)} "
+            f"applied={self.actions_applied}>"
+        )

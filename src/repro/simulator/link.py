@@ -9,6 +9,23 @@ Random loss is applied on ingress, before queueing, as dummynet's
 ``plr`` does — a randomly lost packet consumes no link bandwidth.
 Queue drops happen when the packet arrives while the transmitter is
 busy and the queue will not accept it.
+
+Links also carry the hook points the fault-injection subsystem
+(:mod:`repro.simulator.faults`) drives: an administrative up/down flag,
+transient duplication/corruption stages and dedicated fault counters.
+All of them sit behind single attribute checks so the no-fault hot
+path is unaffected.  Fault semantics:
+
+* a *down* link rejects new packets on ingress (``fault_drops``);
+  packets already queued or in flight still complete — the outage
+  models a path failure at the ingress interface, not a cable cut;
+* *corruption* drops the packet at ingress with its own counter
+  (``corrupt_drops``), modelling a checksum failure at the receiving
+  interface;
+* *duplication* injects a second copy of the packet into the
+  transmitter (``fault_duplicates``), so the conservation identity
+  becomes ``sent + fault_duplicates == delivered + all drops +
+  queued + in_transit``.
 """
 
 from __future__ import annotations
@@ -69,6 +86,15 @@ class Link:
         self.delivered = 0
         self.random_drops = 0
         self.bytes_delivered = 0
+        # Fault-injection state (see module docstring).
+        self.up = True
+        self.fault_drops = 0
+        self.corrupt_drops = 0
+        self.fault_duplicates = 0
+        self.in_transit = 0
+        self._dup_rate = 0.0
+        self._corrupt_rate = 0.0
+        self._fault_rng = None
 
     # -- wiring ----------------------------------------------------------
 
@@ -90,10 +116,26 @@ class Link:
         """Offer a packet to the link.  Returns False if it was dropped."""
         self.sent += 1
         self._notify("send", packet)
+        if not self.up:
+            self.fault_drops += 1
+            self._notify("drop-fault", packet)
+            return False
         if self.loss.should_drop(packet):
             self.random_drops += 1
             self._notify("drop-loss", packet)
             return False
+        if self._fault_rng is not None:
+            if self._corrupt_rate > 0.0 and self._fault_rng.random() < self._corrupt_rate:
+                self.corrupt_drops += 1
+                self._notify("drop-corrupt", packet)
+                return False
+            if self._dup_rate > 0.0 and self._fault_rng.random() < self._dup_rate:
+                self.fault_duplicates += 1
+                self._notify("duplicate", packet)
+                self._accept(packet)
+        return self._accept(packet)
+
+    def _accept(self, packet: Packet) -> bool:
         if self._busy:
             if not self.queue.offer(packet):
                 self._notify("drop-queue", packet)
@@ -104,6 +146,7 @@ class Link:
 
     def _start_transmission(self, packet: Packet) -> None:
         self._busy = True
+        self.in_transit += 1
         tx_time = packet.size * 8.0 / self.rate_bps
         self.sim.schedule(tx_time, self._transmission_done, packet)
 
@@ -116,11 +159,40 @@ class Link:
             self._busy = False
 
     def _deliver(self, packet: Packet) -> None:
+        self.in_transit -= 1
         self.delivered += 1
         self.bytes_delivered += packet.size
         self._notify("deliver", packet)
         if self.deliver is not None:
             self.deliver(packet)
+
+    # -- fault hooks -------------------------------------------------------
+
+    def set_down(self) -> None:
+        """Administratively disable the link (ingress rejects packets)."""
+        self.up = False
+
+    def set_up(self) -> None:
+        """Re-enable a downed link."""
+        self.up = True
+
+    def set_fault_stages(self, dup_rate: float, corrupt_rate: float, rng) -> None:
+        """Configure the duplication/corruption stages (0.0 disables)."""
+        self._dup_rate = dup_rate
+        self._corrupt_rate = corrupt_rate
+        self._fault_rng = rng if (dup_rate > 0.0 or corrupt_rate > 0.0) else None
+
+    def conserves_packets(self) -> bool:
+        """The runtime conservation identity (fault-aware, any instant)."""
+        return self.sent + self.fault_duplicates == (
+            self.delivered
+            + self.random_drops
+            + self.corrupt_drops
+            + self.fault_drops
+            + self.queue.drops
+            + len(self.queue)
+            + self.in_transit
+        )
 
     # -- introspection -----------------------------------------------------
 

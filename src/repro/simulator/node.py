@@ -53,6 +53,34 @@ class Node:
         self.multicast_routes: dict[Address, set[str]] = {}
         self.packets_forwarded = 0
         self.packets_dropped_no_route = 0
+        # Fault-injection state: ``faulted`` is the single hot-path
+        # flag derived from alive/paused (see pause/resume/crash).
+        self.alive = True
+        self.paused = False
+        self.faulted = False
+        self.fault_drops = 0
+
+    # -- fault hooks -----------------------------------------------------
+
+    def pause(self) -> None:
+        """Freeze the node's data plane: incoming and originated
+        packets are dropped until :meth:`resume`.  Protocol timers keep
+        firing (a frozen process does not stop the simulator clock) but
+        their transmissions are swallowed."""
+        self.paused = True
+        self.faulted = True
+
+    def resume(self) -> None:
+        """Undo :meth:`pause` (a crashed node stays down)."""
+        self.paused = False
+        self.faulted = not self.alive
+
+    def crash(self) -> None:
+        """Permanently kill the node.  The data plane is gated exactly
+        like :meth:`pause`; subclasses additionally tear down any
+        protocol agents so their timers go quiet."""
+        self.alive = False
+        self.faulted = True
 
     def attach_link(self, neighbor: str, link: Link) -> None:
         """Register the outgoing link towards ``neighbor``."""
@@ -129,6 +157,9 @@ class Host(Node):
     # -- data path -------------------------------------------------------
 
     def receive(self, packet: Packet, from_node: str) -> None:
+        if self.faulted:
+            self.fault_drops += 1
+            return
         local = packet.dst == self.name or (
             is_multicast(packet.dst) and packet.dst in self.groups
         )
@@ -143,10 +174,23 @@ class Host(Node):
 
     def send(self, packet: Packet) -> bool:
         """Originate a packet: stamp creation time and route it out."""
+        if self.faulted:
+            self.fault_drops += 1
+            return False
         packet.created_at = self.sim.now
         if is_multicast(packet.dst):
             return self.forward_multicast(packet, from_node=None) > 0
         return self.forward_unicast(packet)
+
+    def crash(self) -> None:
+        """Kill the host: gate the data plane and tear down agents so
+        their timers (NAK backoffs, heartbeats) go quiet."""
+        super().crash()
+        for agent in list(self._agents.values()):
+            close = getattr(agent, "close", None)
+            if close is not None:
+                close()
+        self._agents.clear()
 
 
 class Router(Node):
@@ -161,6 +205,9 @@ class Router(Node):
         self.interceptor = interceptor
 
     def receive(self, packet: Packet, from_node: str) -> None:
+        if self.faulted:
+            self.fault_drops += 1
+            return
         packet.hops += 1
         if packet.hops > Packet.MAX_HOPS:
             # Forwarding loop safety net; topologies are trees in all

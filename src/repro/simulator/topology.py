@@ -72,6 +72,8 @@ class Network:
         self.rng = RngRegistry(seed)
         self.nodes: dict[str, Node] = {}
         self.link_delays: dict[tuple[str, str], float] = {}
+        #: injectors installed via :meth:`install_faults`
+        self.fault_injectors: list = []
         self._graph = None
         # Per-network id counters so identically constructed networks
         # produce identical protocol ids (and thus identical derived
@@ -165,6 +167,24 @@ class Network:
         routing.install_multicast_tree(self.graph(), self.nodes, group, source, members)
         for member in members:
             self.host(member).join_group(group)
+
+    # -- fault injection ---------------------------------------------------
+
+    def install_faults(self, plan, acker_lookup=None, validate: bool = True):
+        """Compile a :class:`~repro.simulator.faults.FaultPlan` onto
+        this network's event heap; returns the
+        :class:`~repro.simulator.faults.FaultInjector`.
+
+        ``acker_lookup`` is a zero-argument callable resolving the
+        :data:`~repro.simulator.faults.ACKER` sentinel at fire time
+        (``repro.pgm.create_session`` wires it automatically).
+        """
+        from .faults import FaultInjector
+
+        injector = FaultInjector(self, plan, acker_lookup=acker_lookup,
+                                 validate=validate)
+        self.fault_injectors.append(injector)
+        return injector
 
     # -- execution -----------------------------------------------------------
 

@@ -1,0 +1,116 @@
+"""Property tests for the ACK bitmap (§3.3, Fig. 1): encode/decode is
+the identity over the 32-packet window, and stale or replayed bits can
+never resurrect an already-acknowledged packet."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acktrack import (
+    BITMAP_BITS,
+    AckTracker,
+    bitmap_contains,
+    bitmap_covers,
+    build_bitmap,
+)
+
+
+def window_of(ack_seq: int) -> range:
+    """The sequence numbers a bitmap anchored at ``ack_seq`` can carry."""
+    return range(max(0, ack_seq - BITMAP_BITS + 1), ack_seq + 1)
+
+
+class TestRoundTrip:
+    @given(ack_seq=st.integers(min_value=0, max_value=10_000), data=st.data())
+    @settings(max_examples=300)
+    def test_encode_decode_identity_within_window(self, ack_seq, data):
+        """Any subset of the ≤32 most recent sequence numbers survives
+        encode -> decode exactly."""
+        received = data.draw(st.sets(st.sampled_from(list(window_of(ack_seq)))))
+        bitmap = build_bitmap(ack_seq, received)
+        decoded = {
+            seq for seq in window_of(ack_seq)
+            if bitmap_contains(ack_seq, bitmap, seq)
+        }
+        assert decoded == received
+
+    @given(ack_seq=st.integers(min_value=0, max_value=10_000),
+           received=st.sets(st.integers(min_value=0, max_value=10_000),
+                            max_size=80))
+    @settings(max_examples=300)
+    def test_out_of_window_seqs_never_encoded(self, ack_seq, received):
+        """Sequences outside the window contribute nothing: the bitmap
+        only ever describes what ``bitmap_covers`` admits."""
+        bitmap = build_bitmap(ack_seq, received)
+        assert 0 <= bitmap < (1 << BITMAP_BITS)
+        in_window = received & set(window_of(ack_seq))
+        assert bitmap == build_bitmap(ack_seq, in_window)
+        for seq in received - in_window:
+            assert not bitmap_covers(ack_seq, seq)
+            assert not bitmap_contains(ack_seq, bitmap, seq)
+
+    @given(ack_seq=st.integers(min_value=0, max_value=10_000),
+           seq=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=300)
+    def test_contains_implies_covers(self, ack_seq, seq):
+        bitmap = (1 << BITMAP_BITS) - 1  # every bit set
+        if bitmap_contains(ack_seq, bitmap, seq):
+            assert bitmap_covers(ack_seq, seq)
+
+
+class TestNoResurrection:
+    @given(n=st.integers(min_value=4, max_value=40), data=st.data())
+    @settings(max_examples=150)
+    def test_replayed_acks_never_resurrect_acked_packets(self, n, data):
+        """Feed the tracker an in-order ACK stream, then replay stale
+        ACKs (old anchors, old bitmaps) in any order: no packet is ever
+        newly-acked twice, and none re-enters the outstanding table."""
+        tracker = AckTracker()
+        received: set[int] = set()
+        acked_once: set[int] = set()
+        history: list[tuple[int, int]] = []
+
+        for seq in range(n):
+            tracker.on_data_sent(seq)
+            received.add(seq)
+            bitmap = build_bitmap(seq, received)
+            history.append((seq, bitmap))
+            outcome = tracker.on_ack(seq, bitmap)
+            assert not acked_once & set(outcome.newly_acked)
+            acked_once.update(outcome.newly_acked)
+
+        # every packet was acknowledged exactly once on the live pass
+        assert acked_once == set(range(n))
+        assert tracker.outstanding_count == 0
+
+        # replay a random sample of stale ACKs, shuffled
+        replays = data.draw(st.lists(st.sampled_from(history), max_size=20))
+        for ack_seq, bitmap in replays:
+            outcome = tracker.on_ack(ack_seq, bitmap)
+            assert outcome.newly_acked == []
+            assert outcome.losses == []
+            assert tracker.outstanding_count == 0
+
+    @given(data=st.data())
+    @settings(max_examples=150)
+    def test_stale_bits_do_not_ack_retransmitted_range(self, data):
+        """After a stall reset the tracker restarts with fresh state;
+        stale pre-reset bitmaps must not acknowledge the new packets
+        beyond what their bits actually cover."""
+        tracker = AckTracker()
+        received: set[int] = set()
+        for seq in range(10):
+            tracker.on_data_sent(seq)
+            received.add(seq)
+        stale_bitmap = build_bitmap(5, received)  # covers only 0..5
+        outcome = tracker.on_ack(5, stale_bitmap)
+        assert outcome.newly_acked == [0, 1, 2, 3, 4, 5]
+        # replaying that same stale ACK changes nothing further
+        replay_count = data.draw(st.integers(min_value=1, max_value=5))
+        before = tracker.outstanding()
+        for _ in range(replay_count):
+            outcome = tracker.on_ack(5, stale_bitmap)
+            assert outcome.newly_acked == []
+        # 6..9 still outstanding except any declared lost by dupacks
+        after = set(tracker.outstanding())
+        assert after <= set(before)
+        assert all(seq >= 6 for seq in before)

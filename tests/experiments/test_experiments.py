@@ -334,6 +334,16 @@ class TestRobustness:
         for pattern in ("bernoulli", "bursty"):
             assert result.metrics[f"{pattern}:rate"] > 50_000
 
+    def test_chaos_survives_clean(self):
+        from repro.experiments import robustness
+
+        result = robustness.run_chaos(scale=0.3)
+        assert result.metrics["crashes"] == 1
+        assert result.metrics["switches"] >= 1  # acker re-elected
+        assert result.metrics["rate"] > 50_000
+        assert result.metrics["longest_gap"] < 10.0
+        assert result.metrics["violations"] == 0
+
 
 class TestDropToZero:
     @pytest.fixture(scope="class")
