@@ -1,0 +1,63 @@
+"""EXP-ADVERSARIAL — misbehaving receivers (greedy acker, throttler,
+NAK storm, ACK replay) against the sender-side feedback guard, with a
+competing TCP flow on the bottleneck and the runtime invariant checker
+(including quarantined-never-acker) as the oracle."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import adversarial
+
+
+def test_bench_adversarial(benchmark):
+    result = benchmark.pedantic(
+        adversarial.run, kwargs={"scale": max(BENCH_SCALE, 0.5)},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    m = result.metrics
+    baseline = m["baseline:on:compliant_bps"]
+
+    # an all-honest group never trips the guard (no false positives)
+    assert m["baseline:on:quarantines"] == 0
+
+    # greedy acker: guard-off measurably degrades the compliant group
+    # and starves the TCP flow; guard-on recovers to within 10% of the
+    # attack-free baseline and the attacker loses the seat
+    assert m["greedy-acker:off:compliant_bps"] < 0.6 * baseline
+    assert m["greedy-acker:off:tcp_bps"] < 0.5 * m["baseline:on:tcp_bps"]
+    assert m["greedy-acker:on:compliant_bps"] > 0.9 * baseline
+    assert m["greedy-acker:on:quarantines"] >= 1
+    assert not m["greedy-acker:on:attacker_is_acker"]
+
+    # throttler: over-reported loss halves the group guard-off; the
+    # loss-range/shadow cross-checks evict it guard-on
+    assert m["throttler:off:compliant_bps"] < 0.5 * baseline
+    assert (m["throttler:on:compliant_bps"]
+            > 1.5 * m["throttler:off:compliant_bps"])
+
+    # NAK storm: the physics-bound repair budget keeps goodput alive
+    assert m["nak-storm:on:quarantines"] >= 1
+    assert (m["nak-storm:on:compliant_bps"]
+            > 2.0 * m["nak-storm:off:compliant_bps"])
+
+    # ACK replay: stale duplicate feedback measurably distorts the
+    # sender's clock (which way depends on whether spurious dupack
+    # halvings or stall-timer refreshes dominate); TTL-bounded dedup
+    # lands the session back on the no-replay "impaired" anchor
+    anchor = m["impaired:on:compliant_bps"]
+    assert abs(m["ack-replay:off:compliant_bps"] - anchor) > 0.10 * anchor
+    assert abs(m["ack-replay:on:compliant_bps"] - anchor) < 0.15 * anchor
+    assert m["ack-replay:on:quarantines"] == 0  # dedup is suspicion-free
+    assert m["impaired:on:quarantines"] == 0    # honest loss is not a crime
+
+    # every scenario is invariant-clean; with the guard on, reliability
+    # is never sacrificed for any compliant receiver (guard-off rows
+    # are the attack showcase and may legitimately exhaust NAK retries)
+    for kind, g in (("baseline", "on"), ("greedy-acker", "off"),
+                    ("greedy-acker", "on"), ("throttler", "off"),
+                    ("throttler", "on"), ("nak-storm", "off"),
+                    ("nak-storm", "on"), ("impaired", "on"),
+                    ("ack-replay", "off"), ("ack-replay", "on")):
+        assert m[f"{kind}:{g}:invariant_violations"] == 0
+        if g == "on":
+            assert m[f"{kind}:{g}:unrecoverable"] == 0

@@ -100,9 +100,11 @@ class SenderController:
         self._rttvar: float = 0.0
         self._stall_timer = Timer(sim, self._on_stall_timeout)
         self._consecutive_stalls = 0
+        self.closed = False
         self.stalls = 0
         self.acks_seen = 0
         self.naks_seen = 0
+        self.acker_evictions = 0
 
     # -- transmit path -----------------------------------------------------
 
@@ -161,7 +163,8 @@ class SenderController:
 
         # ACKs keep the session alive regardless of content.
         self._consecutive_stalls = 0
-        self._stall_timer.restart(self._stall_timeout())
+        if not self.closed:
+            self._stall_timer.restart(self._stall_timeout())
 
         outcome = self.tracker.on_ack(ack_seq, bitmap)
         self._update_time_rtt(outcome.newly_acked)
@@ -216,6 +219,8 @@ class SenderController:
     # -- stall handling -------------------------------------------------------
 
     def _on_stall_timeout(self) -> None:
+        if self.closed:
+            return
         if self.tracker.outstanding_count == 0 and self.window.can_send:
             # Nothing in flight and tokens available: idle, not stalled.
             return
@@ -235,8 +240,29 @@ class SenderController:
             self.on_tokens()
         self._stall_timer.restart(self._stall_timeout())
 
+    def evict_acker(self) -> Optional[str]:
+        """Forcibly unseat the incumbent acker (feedback-guard
+        quarantine).  Clears the election, marks the next ODATA to
+        elicit fake NAKs so the honest receivers re-elect (§3.6), and
+        — because the evicted acker's ACK clock is gone — grants a
+        token if the window is empty so the session keeps breathing.
+        Returns the evicted receiver id, or None without an incumbent.
+        """
+        evicted = self.election.current
+        if evicted is None:
+            return None
+        self.election.clear()
+        self.elicit_nak = True
+        self.acker_evictions += 1
+        if not self.window.can_send:
+            self.window.tokens = max(self.window.tokens, 1.0)
+            if self.on_tokens is not None:
+                self.on_tokens()
+        return evicted
+
     def close(self) -> None:
         """Stop timers (end of session)."""
+        self.closed = True
         self._stall_timer.cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

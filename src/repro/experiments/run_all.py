@@ -16,6 +16,7 @@ import time
 
 from . import (
     ablations,
+    adversarial,
     drop_to_zero,
     fairness_sweep,
     fec_scaling,
@@ -52,6 +53,7 @@ RUNS = [
     ("EXP-CHURN", lambda s: robustness.run_churn(scale=s / 2)),
     ("ABL-BURST", lambda s: robustness.run_bursty_loss(scale=s / 2)),
     ("EXP-CHAOS", lambda s: robustness.run_chaos(scale=s / 2)),
+    ("EXP-ADV", lambda s: adversarial.run(scale=s / 2)),
     ("ABL-DELACK", lambda s: ablations.run_delayed_acks(scale=s / 2)),
     ("EXP-SWEEP", lambda s: fairness_sweep.run(scale=s / 2)),
     ("EXP-SCALE", lambda s: scalability.run(scale=s / 2)),

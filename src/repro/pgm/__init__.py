@@ -11,7 +11,9 @@ Public surface::
 
 from . import constants
 from .fec import FecAssembler, FecPayload, FecSource, attach_fec_receiver
+from .guard import FeedbackGuard, GuardConfig, GuardVerdict
 from .invariants import InvariantChecker, InvariantViolation, Violation
+from .misbehavior import Misbehavior, make_behavior
 from .network_element import PgmNetworkElement
 from .packets import Ack, Nak, Ncf, OData, PgmMessage, RData, Spm, decode
 from .rate_limiter import TokenBucket
@@ -26,6 +28,11 @@ from .session import (
 
 __all__ = [
     "constants",
+    "FeedbackGuard",
+    "GuardConfig",
+    "GuardVerdict",
+    "Misbehavior",
+    "make_behavior",
     "InvariantChecker",
     "InvariantViolation",
     "Violation",

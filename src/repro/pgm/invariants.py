@@ -30,6 +30,11 @@ design arguments rest on:
     election may change the representative but must leave the window
     untouched and trigger no halving.
 
+``quarantined-no-acker``
+    when a :class:`~repro.pgm.guard.FeedbackGuard` is active, a
+    quarantined receiver never holds ackership: its reports must not
+    win (or keep) the election while its control influence is revoked.
+
 The checker works by wrapping the relevant methods on attach — the
 unattached hot path pays nothing.  With ``strict=True`` (the default,
 and what the fuzzers use as an oracle) the first violation raises
@@ -53,6 +58,7 @@ RULES = (
     "rxw-lead-monotonic",
     "link-conservation",
     "switch-no-reaction",
+    "quarantined-no-acker",
 )
 
 
@@ -223,6 +229,7 @@ class InvariantChecker:
             self._check_window(controller.window)
             if self._in_feedback == 0:
                 self._check_ledger(controller, f"after ACK {ack_seq}")
+            self._check_quarantine(f"after ACK {ack_seq}")
             return digest
 
         return on_ack
@@ -261,6 +268,7 @@ class InvariantChecker:
                         "switch-no-reaction",
                         "acker switch changed the post-halving ignore counter",
                     )
+            self._check_quarantine("after NAK report")
             return switched
 
         return on_nak
@@ -319,6 +327,17 @@ class InvariantChecker:
             self._violate("token-accounting",
                           f"token count out of range: {window.tokens}")
 
+    def _check_quarantine(self, context: str) -> None:
+        guard = getattr(self.session.sender, "guard", None)
+        if guard is None:
+            return
+        acker = self.session.sender.controller.current_acker
+        if acker is not None and guard.is_quarantined(acker):
+            self._violate(
+                "quarantined-no-acker",
+                f"quarantined receiver {acker} holds ackership ({context})",
+            )
+
     def _check_ledger(self, controller, context: str) -> None:
         actual = controller.tracker.outstanding_count
         if actual != self._in_flight:
@@ -344,6 +363,7 @@ class InvariantChecker:
         controller = self.session.sender.controller
         self._resync_after_stall(controller)
         self._check_window(controller.window)
+        self._check_quarantine("periodic sweep")
         # Receivers that joined after attach get wrapped here.
         for rx in self.session.receivers:
             self._wrap_receiver(rx)

@@ -1,0 +1,312 @@
+"""Receiver misbehaviour implementations (the Byzantine endpoints).
+
+pgmcc's control loop runs entirely on unauthenticated receiver
+feedback (§3.2, §3.5): the acker election believes every report's
+``rxw_lead`` and ``rx_loss``, and the window clock believes every ACK
+bitmap.  This module implements the attacker side of that trust
+problem — the behaviours the
+:mod:`repro.simulator.faults` receiver-misbehavior episodes switch on:
+
+``greedy-acker``
+    the ackership-capture + optimistic-ACK attack.  The sender reads
+    the two feedback channels for different things: reported
+    ``rx_loss`` feeds only the §3.5 election metric, while the ACK
+    ``ack_seq``/bitmap stream is the only congestion signal the
+    window reacts to.  The attacker pins ``rx_loss`` high
+    (``capture_loss``) on every report — winning and holding the
+    election — and runs a self-paced ACK timer that optimistically
+    acknowledges sequences it never received (SPMs advertise the
+    sender's true lead, so the claims are always plausible), each ACK
+    carrying an all-ones bitmap.  The window never sees a loss and
+    the ACK clock never starves, even while the overdriven bottleneck
+    drops almost everything — the classic optimistic-ACK attack
+    (Savage et al.) transplanted to pgmcc.  Guard-off outcome: the
+    rate climbs to whatever cap exists and compliant receivers drown
+    in unrepairable queue loss; the guard catches ``ack_seq``
+    overtaking the attacker's own reported ``rxw_lead``, and the
+    shadow filter catches the claimed loss rate contradicting its
+    loss-free bitmaps.
+
+``throttler``
+    pin the reported loss rate high to win the election, then drop a
+    fraction of own ACKs — the group is clocked by a receiver
+    pretending to be much slower than it is.
+
+``frozen-lead``
+    keep reporting the episode-start ``rxw_lead`` (a stale/stuck
+    report generator; the honest-loss variant of the greedy acker).
+
+``nak-storm``
+    flood the source with repair-requesting NAKs for random old
+    sequences at a configured rate.
+
+``ack-replay``
+    re-send verbatim copies of the most recent ACK on a timer; the
+    duplicated stale feedback inflates dupack counts at the sender.
+
+``silent-joiner``
+    stay subscribed but emit no feedback at all.
+
+Behaviours mutate only what leaves the receiver (reports, bitmaps,
+ACK/NAK emission); the receiver's local measurement state stays
+honest, so stopping an episode restores compliant behaviour exactly.
+Every random decision draws from the injector-provided named RNG
+stream, preserving (seed, plan) determinism.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import TYPE_CHECKING, Optional
+
+from ..core.acktrack import BITMAP_BITS
+from ..core.loss_filter import SCALE, to_fixed
+from ..simulator.engine import Timer
+from ..simulator.packet import Packet
+from . import constants as C
+from .packets import Ack
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.reports import ReceiverReport
+    from .receiver import PgmReceiver
+
+#: All-ones receive bitmap (claims the last 32 packets all arrived).
+FULL_BITMAP = 0xFFFFFFFF
+
+
+class Misbehavior:
+    """Base class: a no-op behaviour.  Subclasses override the hooks
+    they need; the receiver calls every hook of every active behaviour
+    in activation order."""
+
+    kind = ""
+
+    def __init__(self, receiver: "PgmReceiver", rng: random.Random):
+        self.receiver = receiver
+        self.rng = rng
+
+    def start(self, now: float) -> None:
+        pass
+
+    def stop(self) -> None:
+        pass
+
+    # -- mutation hooks ---------------------------------------------------
+
+    def mutate_report(self, report: "ReceiverReport",
+                      context: str) -> "ReceiverReport":
+        """``context`` is "nak" or "ack" — the two report channels feed
+        different sender machinery (election vs window clock), and the
+        interesting attacks lie differently on each."""
+        return report
+
+    def mutate_bitmap(self, ack_seq: int, bitmap: int) -> int:
+        return bitmap
+
+    def suppress_ack(self, ack_seq: int) -> bool:
+        return False
+
+    def suppress_nak(self, seq: int, fake: bool) -> bool:
+        return False
+
+    def on_ack_sent(self, ack: Ack) -> None:
+        pass
+
+
+class _PeriodicReporter(Misbehavior):
+    """Shared machinery: a timer that refreshes the receiver's acker
+    candidacy with fake (report-only) NAKs every ``report_ivl``."""
+
+    def __init__(self, receiver: "PgmReceiver", rng: random.Random,
+                 report_ivl: float = 0.25):
+        super().__init__(receiver, rng)
+        self.report_ivl = report_ivl
+        self._timer = Timer(receiver.sim, self._tick)
+
+    def start(self, now: float) -> None:
+        self._timer.start(self.report_ivl * self.rng.uniform(0.5, 1.0))
+
+    def stop(self) -> None:
+        self._timer.cancel()
+
+    def _tick(self) -> None:
+        rx = self.receiver
+        if rx.rxw_lead >= 0:
+            # The fake NAK names a received packet, so it requests no
+            # repair — it exists purely to push a report at the
+            # election (the attacker's use of the §3.6 mechanism).
+            rx._send_nak(max(rx.rxw_lead, 0), fake=True)
+        self._timer.restart(self.report_ivl * self.rng.uniform(0.9, 1.1))
+
+
+class GreedyAckerBehavior(_PeriodicReporter):
+    kind = "greedy-acker"
+
+    def __init__(self, receiver, rng, report_ivl: float = 0.25,
+                 capture_loss: float = 0.4, ack_rate: float = 60.0):
+        super().__init__(receiver, rng, report_ivl)
+        self.capture_loss = min(to_fixed(capture_loss), SCALE)
+        self.ack_rate = ack_rate
+        self.opt_acks_sent = 0
+        self._opt_ack = -1
+        self._ack_timer = Timer(receiver.sim, self._ack_tick)
+
+    def start(self, now: float) -> None:
+        super().start(now)
+        self._opt_ack = max(self.receiver.rxw_lead, -1)
+        self._ack_timer.start(self.rng.uniform(0, 1.0 / self.ack_rate))
+
+    def stop(self) -> None:
+        super().stop()
+        self._ack_timer.cancel()
+
+    def mutate_report(self, report, context):
+        # Claimed loss feeds only the election metric: pinning it high
+        # wins and keeps the acker seat.  The lead stays honest so the
+        # claims remain individually plausible.
+        return replace(report, rx_loss=self.capture_loss)
+
+    def mutate_bitmap(self, ack_seq: int, bitmap: int) -> int:
+        # The bitmap is the only loss signal the window reacts to.
+        return FULL_BITMAP
+
+    def _ack_tick(self) -> None:
+        rx = self.receiver
+        # Highest sequence known to exist: own window lead, or the
+        # lead the latest SPM advertised (what makes optimism safe —
+        # the sender provably transmitted it).
+        known = max(rx.rxw_lead, rx._last_spm_lead)
+        if not rx._closed and known >= 0:
+            # Advance at most one bitmap width per tick: the sender
+            # only harvests ACK events from the 32-sequence bitmap, so
+            # bigger jumps would strand sequences (declared lost —
+            # a congestion signal, the one thing to avoid).
+            self._opt_ack = min(known, max(self._opt_ack, -1) + BITMAP_BITS)
+            ack = Ack(rx.tsi, self._opt_ack, FULL_BITMAP, rx._report("ack"))
+            rx.host.send(Packet(rx.host.name, rx.source_addr,
+                                ack.wire_size(), ack, C.PROTO))
+            self.opt_acks_sent += 1
+        self._ack_timer.restart(self.rng.uniform(0.9, 1.1) / self.ack_rate)
+
+
+class ThrottlerBehavior(_PeriodicReporter):
+    kind = "throttler"
+
+    def __init__(self, receiver, rng, loss_rate: float = 0.4,
+                 ack_drop_rate: float = 0.7, report_ivl: float = 0.25):
+        super().__init__(receiver, rng, report_ivl)
+        self.loss_fixed = min(to_fixed(loss_rate), SCALE)
+        self.ack_drop_rate = ack_drop_rate
+
+    def mutate_report(self, report, context):
+        return replace(report, rx_loss=self.loss_fixed)
+
+    def suppress_ack(self, ack_seq: int) -> bool:
+        return self.rng.random() < self.ack_drop_rate
+
+
+class FrozenLeadBehavior(_PeriodicReporter):
+    kind = "frozen-lead"
+
+    def __init__(self, receiver, rng, report_ivl: float = 0.25):
+        super().__init__(receiver, rng, report_ivl)
+        self.frozen_lead: int = 0
+
+    def start(self, now: float) -> None:
+        self.frozen_lead = max(self.receiver.rxw_lead, 0)
+        super().start(now)
+
+    def mutate_report(self, report, context):
+        return replace(report, rxw_lead=self.frozen_lead)
+
+
+class NakStormBehavior(Misbehavior):
+    kind = "nak-storm"
+
+    def __init__(self, receiver, rng, rate: float = 200.0):
+        super().__init__(receiver, rng)
+        self.rate = rate
+        self._timer = Timer(receiver.sim, self._tick)
+
+    def start(self, now: float) -> None:
+        self._timer.start(self.rng.uniform(0, 1.0 / self.rate))
+
+    def stop(self) -> None:
+        self._timer.cancel()
+
+    def _tick(self) -> None:
+        rx = self.receiver
+        if rx.rxw_lead >= 0:
+            # A *real* NAK for a random already-transmitted sequence:
+            # the source answers with NCF + RDATA, so every storm NAK
+            # costs the group repair bandwidth.
+            seq = self.rng.randrange(rx.rxw_lead + 1)
+            rx._send_nak(seq, fake=False)
+        self._timer.restart(self.rng.uniform(0.5, 1.5) / self.rate)
+
+
+class AckReplayBehavior(Misbehavior):
+    kind = "ack-replay"
+
+    def __init__(self, receiver, rng, copies: int = 3, interval: float = 0.05):
+        super().__init__(receiver, rng)
+        self.copies = copies
+        self.interval = interval
+        self._last_ack: Optional[Ack] = None
+        self._timer = Timer(receiver.sim, self._tick)
+
+    def start(self, now: float) -> None:
+        self._timer.start(self.interval)
+
+    def stop(self) -> None:
+        self._timer.cancel()
+        self._last_ack = None
+
+    def on_ack_sent(self, ack: Ack) -> None:
+        self._last_ack = ack
+
+    def _tick(self) -> None:
+        rx = self.receiver
+        ack = self._last_ack
+        if ack is not None and not rx._closed:
+            for _ in range(self.copies):
+                rx.host.send(Packet(rx.host.name, rx.source_addr,
+                                    ack.wire_size(), ack, C.PROTO))
+                rx.acks_replayed += 1
+        self._timer.restart(self.interval * self.rng.uniform(0.9, 1.1))
+
+
+class SilentJoinerBehavior(Misbehavior):
+    kind = "silent-joiner"
+
+    def suppress_ack(self, ack_seq: int) -> bool:
+        return True
+
+    def suppress_nak(self, seq: int, fake: bool) -> bool:
+        return True
+
+
+_BEHAVIORS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        GreedyAckerBehavior,
+        ThrottlerBehavior,
+        FrozenLeadBehavior,
+        NakStormBehavior,
+        AckReplayBehavior,
+        SilentJoinerBehavior,
+    )
+}
+
+#: Every behaviour kind string, in a stable order (for tests/docs).
+BEHAVIOR_KINDS = tuple(_BEHAVIORS)
+
+
+def make_behavior(kind: str, receiver: "PgmReceiver", rng: random.Random,
+                  **params) -> Misbehavior:
+    """Instantiate the behaviour implementing ``kind``."""
+    cls = _BEHAVIORS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown misbehavior kind {kind!r}")
+    return cls(receiver, rng, **params)

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from ..simulator.node import Router
 from ..simulator.packet import Packet
 from . import constants as C
-from .packets import Ack, Nak, Ncf, OData, RData, Spm
+from .packets import Ack, Nak, Ncf, OData, RData, Spm, decode
 
 
 @dataclass
@@ -76,14 +76,27 @@ class PgmNetworkElement:
         self.rdata_selective = 0
         self.rdata_flooded = 0
         self.ncfs_sent = 0
+        self.malformed_dropped = 0
         router.set_interceptor(self)
 
     # -- interceptor entry point ---------------------------------------------
 
     def intercept(self, packet: Packet, from_node: str) -> bool:
+        msg = packet.payload
+        if isinstance(msg, (bytes, bytearray)):
+            # A mangled frame: a PGM router verifies the checksum like
+            # any other hop.  Undecodable bytes are consumed (dropped)
+            # here; decodable ones are plain-forwarded and left to the
+            # end hosts to validate — NE state must never be built
+            # from fields a bit flip may have rewritten.
+            try:
+                decode(bytes(msg))
+            except ValueError:
+                self.malformed_dropped += 1
+                return True
+            return False
         if not self.enabled:
             return False
-        msg = packet.payload
         if isinstance(msg, Spm):
             return self._handle_spm(packet, msg, from_node)
         if isinstance(msg, Nak):

@@ -7,7 +7,11 @@ type so the Fig. 1 formats are real and round-trip tested (EXP-F1).
 Wire layout (network byte order)::
 
     common header (16 B): magic 'P' | type u8 | options_len u16 |
-                          tsi u64 | reserved u32
+                          tsi u64 | checksum u32
+
+The checksum is CRC-32 over the whole frame (checksum field zeroed),
+written by ``pack`` and verified by ``decode`` — any bit flip in
+transit turns into a :class:`ValueError` at the first PGM ingress.
 
     SPM:   spm_seq u32 | trail u32 | lead u32 | path str8
     ODATA: seq u32 | trail u32 | tstamp f64 | payload_len u16 |
@@ -27,6 +31,7 @@ acker_id on ODATA — map to OPT_CC_FEEDBACK and OPT_CC_ACKER below.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -34,6 +39,23 @@ from ..core.reports import ReceiverReport
 from . import constants as C
 
 MAGIC = 0x50  # 'P'
+
+#: byte offset of the checksum word inside the common header (the
+#: header's trailing u32, Fig. 1's reserved area)
+_CRC_OFFSET = C.HEADER_SIZE - 4
+_CRC_ZERO = b"\x00\x00\x00\x00"
+
+
+def _seal(raw: bytes) -> bytes:
+    """Write the frame checksum into the header's reserved word.
+
+    CRC-32 over the whole frame with the checksum field zeroed —
+    guaranteed to catch the 1–3 bit flips the mangle fault injects, so
+    every corrupted frame dies in :func:`decode` instead of feeding
+    garbage field values to protocol state machines.
+    """
+    crc = zlib.crc32(raw) & 0xFFFFFFFF
+    return raw[:_CRC_OFFSET] + struct.pack("!I", crc) + raw[C.HEADER_SIZE:]
 
 # option TLV types
 OPT_CC_FEEDBACK = 0x01  # receiver report (NAK and ACK)
@@ -95,7 +117,11 @@ class PgmMessage:
     def _header(self, options_len: int = 0) -> bytes:
         return _HEADER.pack(MAGIC, self.TYPE, options_len, self.tsi, 0)
 
-    def pack(self) -> bytes:  # pragma: no cover - overridden
+    def pack(self) -> bytes:
+        """Encode to bytes, with the header checksum filled in."""
+        return _seal(self._pack_body())
+
+    def _pack_body(self) -> bytes:  # pragma: no cover - overridden
         raise NotImplementedError
 
     def wire_size(self) -> int:
@@ -116,7 +142,7 @@ class Spm(PgmMessage):
     lead: int
     path: str = ""  # name of the last PGM hop traversed
 
-    def pack(self) -> bytes:
+    def _pack_body(self) -> bytes:
         body = struct.pack("!III", self.spm_seq, self.trail, self.lead)
         body += _pack_str8(self.path)
         return self._header() + body
@@ -144,7 +170,7 @@ class OData(PgmMessage):
     elicit_nak: bool = False
     payload: bytes = b""
 
-    def pack(self) -> bytes:
+    def _pack_body(self) -> bytes:
         fixed = struct.pack("!IIdH", self.seq, self.trail, self.timestamp, self.payload_len)
         option = b""
         if self.acker_id is not None or self.elicit_nak:
@@ -197,7 +223,7 @@ class RData(PgmMessage):
     timestamp: float = 0.0
     payload: bytes = b""
 
-    def pack(self) -> bytes:
+    def _pack_body(self) -> bytes:
         fixed = struct.pack("!IIdH", self.seq, self.trail, self.timestamp, self.payload_len)
         payload = self.payload if isinstance(self.payload, bytes) else bytes(0)
         return self._header() + fixed + payload
@@ -232,7 +258,7 @@ class Nak(PgmMessage):
     def all_seqs(self) -> tuple[int, ...]:
         return (self.seq, *self.extra_seqs)
 
-    def pack(self) -> bytes:
+    def _pack_body(self) -> bytes:
         flags = NAK_FLAG_FAKE if self.fake else 0
         fixed = struct.pack("!IBB", self.seq, flags, len(self.extra_seqs))
         fixed += b"".join(struct.pack("!I", s) for s in self.extra_seqs)
@@ -264,7 +290,7 @@ class Ncf(PgmMessage):
     tsi: int
     seq: int
 
-    def pack(self) -> bytes:
+    def _pack_body(self) -> bytes:
         return self._header() + struct.pack("!I", self.seq)
 
     @classmethod
@@ -289,7 +315,7 @@ class Ack(PgmMessage):
     bitmask: int
     report: ReceiverReport
 
-    def pack(self) -> bytes:
+    def _pack_body(self) -> bytes:
         fixed = struct.pack("!II", self.ack_seq, self.bitmask & 0xFFFFFFFF)
         option = _pack_report(self.report)
         return self._header(len(option)) + fixed + option
@@ -305,7 +331,31 @@ class Ack(PgmMessage):
 
 
 def decode(data: bytes) -> PgmMessage:
-    """Decode a packed PGM message of any type."""
+    """Decode a packed PGM message of any type.
+
+    Every malformed input — truncated buffers, bad magic, option
+    garbage, broken UTF-8 — raises :class:`ValueError`, so ingress
+    paths need exactly one except clause to drop corrupted packets.
+    """
+    try:
+        if len(data) < C.HEADER_SIZE:
+            raise ValueError(f"truncated PGM packet: {len(data)} bytes")
+        (stored,) = struct.unpack_from("!I", data, _CRC_OFFSET)
+        actual = zlib.crc32(
+            data[:_CRC_OFFSET] + _CRC_ZERO + data[C.HEADER_SIZE:]
+        ) & 0xFFFFFFFF
+        if stored != actual:
+            raise ValueError(
+                f"checksum mismatch: 0x{stored:08x} != 0x{actual:08x}"
+            )
+        return _decode(data)
+    except ValueError:
+        raise
+    except (struct.error, IndexError, UnicodeDecodeError) as exc:
+        raise ValueError(f"malformed PGM packet: {exc}") from None
+
+
+def _decode(data: bytes) -> PgmMessage:
     magic, msg_type, options_len, tsi, _reserved = _HEADER.unpack_from(data, 0)
     if magic != MAGIC:
         raise ValueError(f"bad magic 0x{magic:02x}")

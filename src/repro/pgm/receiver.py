@@ -29,7 +29,8 @@ from ..simulator.engine import Timer
 from ..simulator.node import Host
 from ..simulator.packet import Packet
 from . import constants as C
-from .packets import Ack, Nak, Ncf, OData, RData, Spm
+from .misbehavior import Misbehavior, make_behavior
+from .packets import Ack, Nak, Ncf, OData, RData, Spm, decode
 
 
 @dataclass
@@ -123,6 +124,10 @@ class PgmReceiver:
         self.storm_spacing = storm_spacing
         self._last_nak_time = -1e9
         self._nak_states: dict[int, _NakState] = {}
+        self._closed = False
+        #: active misbehaviours, by kind (normally empty — installed by
+        #: the fault injector's receiver-misbehavior episodes)
+        self.behaviors: dict[str, Misbehavior] = {}
         #: in-order delivery state (reliable mode)
         self._pending_delivery: dict[int, tuple[int, bytes]] = {}
         self._next_deliver = 0
@@ -139,14 +144,52 @@ class PgmReceiver:
         self.delivered = 0
         self.spms_received = 0
         self.tail_loss_detections = 0
+        self.malformed_dropped = 0
+        self.insane_dropped = 0
+        self.unrecoverable_data_loss = 0
+        self.acks_suppressed = 0
+        self.naks_suppressed = 0
+        self.acks_replayed = 0
         self._last_spm_lead = -1
         host.register_agent(C.PROTO, self)
+
+    # -- misbehaviour control (driven by the fault injector) -----------------
+
+    def misbehave_start(self, kind: str, now: float, rng: random.Random,
+                        **params) -> None:
+        """Switch on a misbehaviour episode (idempotent per kind)."""
+        self.misbehave_stop(kind)
+        behavior = make_behavior(kind, self, rng, **params)
+        self.behaviors[kind] = behavior
+        behavior.start(now)
+
+    def misbehave_stop(self, kind: str) -> None:
+        """Switch a misbehaviour off again (no-op when not active)."""
+        behavior = self.behaviors.pop(kind, None)
+        if behavior is not None:
+            behavior.stop()
 
     # -- receive dispatch ---------------------------------------------------
 
     def handle_packet(self, packet: Packet) -> None:
+        if self._closed:
+            return
         msg = packet.payload
+        from_wire = isinstance(msg, (bytes, bytearray))
+        if from_wire:
+            # Mangled links deliver raw bytes; a decode failure models
+            # a checksum-rejected frame at this host.
+            try:
+                msg = decode(bytes(msg))
+            except ValueError:
+                self.malformed_dropped += 1
+                return
         if getattr(msg, "tsi", None) != self.tsi:
+            return
+        if from_wire and not self._sane(msg):
+            # Decoded fine but carries fields no honest sender emits
+            # (a bit flip landed in seq/trail/lead): treat as corrupt.
+            self.insane_dropped += 1
             return
         if isinstance(msg, OData):
             self._handle_data(msg, is_repair=False)
@@ -157,6 +200,19 @@ class PgmReceiver:
         elif isinstance(msg, Spm):
             self._handle_spm(msg)
         # ACKs are unicast to the source; receivers never see them.
+
+    #: widest credible jump ahead of our window for wire-decoded
+    #: sequence fields — anything further is a corrupted field, not
+    #: data (an honest sender cannot outrun its own transmit window).
+    _SANITY_HORIZON = 4 * C.TX_WINDOW_PACKETS
+
+    def _sane(self, msg) -> bool:
+        lead = max(self.cc.rxw_lead, 0)
+        if isinstance(msg, (OData, RData)):
+            return msg.trail <= msg.seq and msg.seq - lead <= self._SANITY_HORIZON
+        if isinstance(msg, Spm):
+            return msg.trail <= msg.lead and msg.lead - lead <= self._SANITY_HORIZON
+        return True
 
     # -- data path -----------------------------------------------------------
 
@@ -240,7 +296,7 @@ class PgmReceiver:
             return
         # BACKOFF or AWAIT_NCF: (re)send the NAK.
         if state.attempts >= self.nak_max_retries:
-            self._abandon(seq)
+            self._abandon(seq, exhausted=True)
             return
         if len(self._nak_states) > self.storm_threshold:
             # §3.8 NAK-storm pacing: with many repairs pending, space
@@ -258,9 +314,14 @@ class PgmReceiver:
             # Report-only mode: one NAK per loss event, no repair loop.
             self._drop_nak_state(seq)
 
-    def _abandon(self, seq: int) -> None:
+    def _abandon(self, seq: int, exhausted: bool = False) -> None:
         self._drop_nak_state(seq)
         self.repairs_abandoned += 1
+        if exhausted:
+            # NAK_MAX_RETRIES spent with no repair: the data is gone
+            # for good, and the application deserves to know (§3.8's
+            # bounded-recovery corollary).
+            self.unrecoverable_data_loss += 1
         self._abandoned.add(seq)
         # Unblock in-order delivery past the permanently missing packet.
         self._deliver_advance()
@@ -317,10 +378,21 @@ class PgmReceiver:
 
     # -- feedback transmission ----------------------------------------------
 
-    def _report(self):
-        return self.cc.report(include_timestamp=self.echo_timestamps, now=self.sim.now)
+    def _report(self, context: str = "nak"):
+        report = self.cc.report(include_timestamp=self.echo_timestamps, now=self.sim.now)
+        if self.behaviors:
+            for behavior in self.behaviors.values():
+                report = behavior.mutate_report(report, context)
+        return report
 
     def _send_nak(self, seq: int, fake: bool = False) -> None:
+        if self._closed:
+            return
+        if self.behaviors:
+            for behavior in self.behaviors.values():
+                if behavior.suppress_nak(seq, fake):
+                    self.naks_suppressed += 1
+                    return
         nak = Nak(self.tsi, seq, self._report(), fake=fake)
         self.host.send(
             Packet(self.host.name, self.source_addr, nak.wire_size(), nak, C.PROTO)
@@ -338,11 +410,24 @@ class PgmReceiver:
         )
 
     def _send_ack(self, ack_seq: int) -> None:
-        ack = Ack(self.tsi, ack_seq, self.cc.ack_bitmap(ack_seq), self._report())
+        if self._closed:
+            return
+        bitmap = self.cc.ack_bitmap(ack_seq)
+        if self.behaviors:
+            for behavior in self.behaviors.values():
+                if behavior.suppress_ack(ack_seq):
+                    self.acks_suppressed += 1
+                    return
+            for behavior in self.behaviors.values():
+                bitmap = behavior.mutate_bitmap(ack_seq, bitmap)
+        ack = Ack(self.tsi, ack_seq, bitmap, self._report("ack"))
         self.host.send(
             Packet(self.host.name, self.source_addr, ack.wire_size(), ack, C.PROTO)
         )
         self.acks_sent += 1
+        if self.behaviors:
+            for behavior in self.behaviors.values():
+                behavior.on_ack_sent(ack)
 
     # -- introspection -----------------------------------------------------
 
@@ -355,9 +440,12 @@ class PgmReceiver:
         return self.cc.rxw_lead
 
     def close(self) -> None:
+        self._closed = True
         for state in self._nak_states.values():
             state.timer.cancel()
         self._nak_states.clear()
+        for kind in list(self.behaviors):
+            self.misbehave_stop(kind)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

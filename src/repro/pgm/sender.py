@@ -21,7 +21,8 @@ from ..simulator.node import Host
 from ..simulator.packet import Packet
 from ..simulator.trace import FlowTrace
 from . import constants as C
-from .packets import Ack, Nak, Ncf, OData, RData, Spm
+from .guard import FeedbackGuard
+from .packets import Ack, Nak, Ncf, OData, RData, Spm, decode
 from .rate_limiter import TokenBucket
 
 
@@ -99,6 +100,10 @@ class PgmSender:
             "acker-switch"/"cc-loss"/"stall" records.
         on_token: application feedback hook called at every
             transmission opportunity (§3.9).
+        guard: optional :class:`~repro.pgm.guard.FeedbackGuard`; when
+            set, every NAK report and ACK is plausibility-checked
+            before it may steer the election or clock the window.
+            Repairs are never gated by the guard.
     """
 
     #: suppress a duplicate RDATA for the same sequence within this
@@ -119,6 +124,7 @@ class PgmSender:
         on_token: Optional[Callable[[float], None]] = None,
         spm_ivl: float = C.SPM_IVL,
         payload_size: int = C.DEFAULT_PAYLOAD,
+        guard: Optional[FeedbackGuard] = None,
     ):
         self.host = host
         self.sim = host.sim
@@ -153,11 +159,16 @@ class PgmSender:
         self._started = False
         self._closed = False
         # statistics
+        self.guard = guard
         self.odata_sent = 0
         self.rdata_sent = 0
         self.naks_received = 0
         self.acks_received = 0
         self.bytes_sent = 0
+        self.malformed_dropped = 0
+        self.insane_dropped = 0
+        self.guard_acks_blocked = 0
+        self.guard_naks_blocked = 0
         #: NAKs reaching the source, by reporting receiver — shows how
         #: NE suppression skews the report stream (Fig. 6 discussion).
         self.nak_origins: dict[str, int] = {}
@@ -233,30 +244,81 @@ class PgmSender:
     # -- receive path ---------------------------------------------------------
 
     def handle_packet(self, packet: Packet) -> None:
+        if self._closed:
+            return
         msg = packet.payload
+        if isinstance(msg, (bytes, bytearray)):
+            # Mangled links deliver raw bytes; a decode failure models
+            # a checksum-rejected frame at this host.
+            try:
+                msg = decode(bytes(msg))
+            except ValueError:
+                self.malformed_dropped += 1
+                return
+            if not self._sane(msg):
+                self.insane_dropped += 1
+                return
         if isinstance(msg, Nak) and msg.tsi == self.tsi:
             self._handle_nak(msg)
         elif isinstance(msg, Ack) and msg.tsi == self.tsi:
             self._handle_ack(msg)
         # SPM/NCF/data addressed to us are not expected; ignore.
 
+    def _sane(self, msg) -> bool:
+        """Field-sanity gate for wire-decoded feedback: an honest
+        receiver can never reference a sequence we have not sent (a
+        decodable packet with a bit flip in a seq field must not feed
+        the controller impossible values)."""
+        last = self.controller.last_tx_seq
+        if isinstance(msg, Nak):
+            return msg.seq <= last and msg.report.rxw_lead <= last
+        if isinstance(msg, Ack):
+            return msg.ack_seq <= last and msg.report.rxw_lead <= last
+        return True
+
     def _handle_nak(self, nak: Nak) -> None:
         self.naks_received += 1
         rx = nak.report.rx_id
         self.nak_origins[rx] = self.nak_origins.get(rx, 0) + 1
         self.trace.log(self.sim.now, "nak", nak.seq)
-        before = self.controller.current_acker
-        switched = self.controller.on_nak(nak.report)
-        if switched:
-            self.trace.log(self.sim.now, "acker-switch", nak.seq)
-            self._log_switch(before, self.controller.current_acker)
-        # Confirm the NAK downstream so other receivers suppress theirs.
+        allow_control = True
+        allow_repair = True
+        if self.guard is not None:
+            verdict = self.guard.on_nak(
+                nak.report, self.controller.last_tx_seq,
+                requests_repair=not nak.fake,
+            )
+            if verdict.newly_quarantined:
+                self._maybe_evict(rx)
+            allow_control = verdict.allow_control
+            allow_repair = not verdict.drop
+            if not allow_control:
+                self.guard_naks_blocked += 1
+        if allow_control:
+            before = self.controller.current_acker
+            switched = self.controller.on_nak(nak.report)
+            if switched:
+                self.trace.log(self.sim.now, "acker-switch", nak.seq)
+                self._log_switch(before, self.controller.current_acker)
+        # Confirm the NAK downstream so other receivers suppress
+        # theirs.  Repairs flow even for quarantined receivers —
+        # quarantine removes control influence, never reliability —
+        # but a receiver NAKing above the honest §3.8 ceiling has
+        # exhausted its repair budget and its RDATA is skipped.
         ncf = Ncf(self.tsi, nak.seq)
         self.host.send(Packet(self.host.name, self.group, 64, ncf, C.PROTO))
-        if nak.fake or not self.reliable:
+        if nak.fake or not self.reliable or not allow_repair:
             return
         for seq in nak.all_seqs():
             self._maybe_repair(seq)
+
+    def _maybe_evict(self, rx_id: str) -> None:
+        """A receiver just entered quarantine: if it holds ackership,
+        unseat it and let the honest group re-elect (§3.6 machinery)."""
+        if self.controller.current_acker == rx_id:
+            evicted = self.controller.evict_acker()
+            if evicted is not None:
+                self.trace.log(self.sim.now, "acker-evict", self.next_seq)
 
     def _log_switch(self, old: Optional[str], new: Optional[str]) -> None:
         pass  # history already kept by the election; hook for subclasses
@@ -301,6 +363,15 @@ class PgmSender:
 
     def _handle_ack(self, ack: Ack) -> None:
         self.acks_received += 1
+        if self.guard is not None:
+            verdict = self.guard.on_ack(
+                ack.ack_seq, ack.bitmask, ack.report, self.controller.last_tx_seq
+            )
+            if verdict.newly_quarantined:
+                self._maybe_evict(ack.report.rx_id)
+            if verdict.drop or not verdict.allow_control:
+                self.guard_acks_blocked += 1
+                return
         digest = self.controller.on_ack(ack.ack_seq, ack.bitmask, ack.report)
         self.trace.log(self.sim.now, "ack", ack.ack_seq)
         if digest.reacted or self.acks_received % self.WINDOW_SAMPLE_EVERY == 0:

@@ -11,10 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..core.loss_filter import DEFAULT_W
 from ..core.sender_cc import CcConfig
 from ..simulator.topology import Network
 from ..simulator.trace import FlowTrace
 from . import constants as C
+from .guard import FeedbackGuard, GuardConfig
 from .invariants import InvariantChecker
 from .network_element import PgmNetworkElement
 from .receiver import PgmReceiver
@@ -40,6 +42,10 @@ class PgmSession:
     @property
     def trace(self) -> FlowTrace:
         return self.sender.trace
+
+    @property
+    def guard(self) -> Optional[FeedbackGuard]:
+        return self.sender.guard
 
     @property
     def acker_switches(self) -> int:
@@ -79,8 +85,14 @@ class PgmSession:
             "nak_origins": dict(self.sender.nak_origins),
             "acker": self.sender.current_acker,
             "acker_switches": self.acker_switches,
+            "acker_evictions": controller.acker_evictions,
             "stalls": controller.stalls,
             "window": controller.window.w,
+            "malformed_dropped": self.malformed_dropped(),
+            "unrecoverable_data_loss": sum(
+                rx.unrecoverable_data_loss for rx in self.receivers
+            ),
+            "guard": self.guard.summary() if self.guard is not None else None,
             "receivers": {
                 rx.rx_id: {
                     "odata_received": rx.odata_received,
@@ -89,10 +101,19 @@ class PgmSession:
                     "delivered": rx.delivered,
                     "acks_sent": rx.acks_sent,
                     "naks_sent": rx.naks_sent,
+                    "malformed_dropped": rx.malformed_dropped,
+                    "unrecoverable_data_loss": rx.unrecoverable_data_loss,
                 }
                 for rx in self.receivers
             },
         }
+
+    def malformed_dropped(self) -> int:
+        """Corrupted-packet drops across every session ingress."""
+        total = self.sender.malformed_dropped + self.sender.insane_dropped
+        for rx in self.receivers:
+            total += rx.malformed_dropped + rx.insane_dropped
+        return total
 
 
 def create_session(
@@ -116,22 +137,41 @@ def create_session(
     faults=None,
     check_invariants: bool = False,
     strict_invariants: bool = True,
+    guard=None,
 ) -> PgmSession:
     """Create and schedule a full PGM/pgmcc session on ``net``.
 
     ``faults`` takes a :class:`~repro.simulator.faults.FaultPlan` and
     compiles it onto the network with this session resolving the
-    :data:`~repro.simulator.faults.ACKER` sentinel;
-    ``check_invariants=True`` attaches a runtime
-    :class:`~repro.pgm.invariants.InvariantChecker`
+    :data:`~repro.simulator.faults.ACKER` sentinel and receiver names
+    for misbehavior episodes; ``check_invariants=True`` attaches a
+    runtime :class:`~repro.pgm.invariants.InvariantChecker`
     (``strict_invariants=False`` collects violations instead of
-    raising).  Both handles live on the returned session.
+    raising).  ``guard`` enables the sender-side
+    :class:`~repro.pgm.guard.FeedbackGuard` — pass ``True`` for
+    defaults or a :class:`~repro.pgm.guard.GuardConfig`; the loss-range
+    rule is auto-configured from ``filter_w``/``estimator``.  All
+    handles live on the returned session.
     """
     if tsi is None:
         tsi = net.next_tsi()
     if group is None:
         group = f"mc:pgm{tsi}"
     net.set_group(group, sender_host, receiver_hosts)
+
+    guard_obj: Optional[FeedbackGuard] = None
+    if guard:
+        if isinstance(guard, FeedbackGuard):
+            guard_obj = guard
+        else:
+            if isinstance(guard, GuardConfig):
+                config = guard
+            else:  # guard=True: defaults matched to the session's estimator
+                config = GuardConfig(
+                    filter_w=filter_w if filter_w is not None else DEFAULT_W,
+                    check_loss_range=(estimator == "filter"),
+                )
+            guard_obj = FeedbackGuard(net.sim, config)
 
     trace = FlowTrace(trace_name or f"pgm{tsi}")
     sender = PgmSender(
@@ -145,6 +185,7 @@ def create_session(
         trace=trace,
         on_token=on_token,
         payload_size=payload_size,
+        guard=guard_obj,
     )
     session = PgmSession(net, sender, [], group, tsi, members=list(receiver_hosts))
     for host_name in receiver_hosts:
@@ -157,8 +198,17 @@ def create_session(
             session, strict=strict_invariants
         ).attach()
     if faults is not None:
+
+        def _receiver_lookup(name: str):
+            for rx in session.receivers:
+                if rx.rx_id == name or rx.host.name == name:
+                    return rx
+            return None
+
         session.fault_injector = net.install_faults(
-            faults, acker_lookup=lambda: sender.current_acker
+            faults,
+            acker_lookup=lambda: sender.current_acker,
+            receiver_lookup=_receiver_lookup,
         )
     if start_at <= 0:
         # Schedule rather than call so construction order never matters.

@@ -12,6 +12,7 @@ Public surface::
 from .engine import Event, Simulator, Timer
 from .faults import (
     ACKER,
+    AckReplay,
     BurstLoss,
     Corruption,
     Duplication,
@@ -19,11 +20,16 @@ from .faults import (
     FaultInjector,
     FaultPlan,
     FaultRecord,
+    FrozenLead,
+    GreedyAcker,
     LinkDown,
     LinkImpairment,
+    NakStorm,
     NodeCrash,
     NodePause,
     NodeResume,
+    SilentJoiner,
+    Throttler,
     flap_link,
 )
 from .link import Link
@@ -55,6 +61,7 @@ __all__ = [
     "Simulator",
     "Timer",
     "ACKER",
+    "AckReplay",
     "BurstLoss",
     "Corruption",
     "Duplication",
@@ -62,11 +69,16 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultRecord",
+    "FrozenLead",
+    "GreedyAcker",
     "LinkDown",
     "LinkImpairment",
+    "NakStorm",
     "NodeCrash",
     "NodePause",
     "NodeResume",
+    "SilentJoiner",
+    "Throttler",
     "flap_link",
     "Link",
     "BernoulliLoss",

@@ -55,7 +55,10 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        # Heap entries are (time, seq, Event) tuples: heapq then
+        # compares at C speed and never falls back to Event.__lt__,
+        # with the identical (time, insertion-order) total order.
+        self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._running = False
         self._stopped = False
@@ -76,7 +79,7 @@ class Simulator:
                 f"cannot schedule at {time:.6f}, clock already at {self.now:.6f}"
             )
         ev = Event(time, next(self._counter), fn, args)
-        heapq.heappush(self._heap, ev)
+        heapq.heappush(self._heap, (time, ev.seq, ev))
         return ev
 
     # -- execution -----------------------------------------------------
@@ -96,13 +99,13 @@ class Simulator:
             while self._heap and not self._stopped:
                 if max_events is not None and processed >= max_events:
                     break
-                ev = self._heap[0]
-                if until is not None and ev.time > until:
+                time = self._heap[0][0]
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._heap)
+                ev = heapq.heappop(self._heap)[2]
                 if ev.cancelled:
                     continue
-                self.now = ev.time
+                self.now = time
                 ev.fn(*ev.args)
                 processed += 1
                 self.events_processed += 1
@@ -117,7 +120,7 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return sum(1 for _, _, ev in self._heap if not ev.cancelled)
 
 
 class Timer:

@@ -27,11 +27,27 @@ Episode catalogue::
     NodeCrash(node, at)                 permanent kill (node may be ACKER)
     ElementDown(router, at, duration)   disable a router's interceptor
 
+Receiver-misbehavior episodes (the Byzantine-endpoint fault model)::
+
+    GreedyAcker(receiver, at, duration)   under-report loss, freeze lead
+    Throttler(receiver, at, duration)     over-report loss, drop own ACKs
+    FrozenLead(receiver, at, duration)    stale rxw_lead in every report
+    NakStorm(receiver, at, duration)      flood the source with NAKs
+    AckReplay(receiver, at, duration)     replay/duplicate the last ACK
+    SilentJoiner(receiver, at, duration)  join but emit no feedback
+
+These drive, through duck typing, any receiver agent exposing
+``misbehave_start(kind, now, rng, **params)`` / ``misbehave_stop(kind)``
+(our :class:`~repro.pgm.receiver.PgmReceiver` does, with the behaviour
+implementations in :mod:`repro.pgm.misbehavior`); resolution from the
+node name to the agent goes through the injector's ``receiver_lookup``
+callable, keeping this module protocol-agnostic.
+
 Determinism: every random decision (duplication, corruption, episode
-loss models) draws from named :class:`~repro.simulator.rng.RngRegistry`
-streams keyed by link name, so the same ``(seed, plan)`` pair yields
-byte-identical traces run after run — the property the chaos test
-suite is built on.
+loss models, misbehaving-receiver decisions) draws from named
+:class:`~repro.simulator.rng.RngRegistry` streams keyed by link or
+receiver name, so the same ``(seed, plan)`` pair yields byte-identical
+traces run after run — the property the chaos test suite is built on.
 
 Overlap semantics: overlapping episodes touching the same knob stack;
 the most recently started active episode wins, and when it ends the
@@ -150,7 +166,14 @@ class Duplication:
 
 @dataclass(frozen=True)
 class Corruption:
-    """Corrupt (checksum-drop) each packet with probability ``rate``."""
+    """Corrupt each packet with probability ``rate``.
+
+    ``mode="drop"`` (default) models a checksum failure at the
+    receiving interface: the packet is silently discarded.
+    ``mode="mangle"`` delivers the packet with its encoded bytes
+    bit-flipped instead, exercising every ingress ``decode()`` path
+    (payload objects without a byte codec still fall back to drop).
+    """
 
     a: str
     b: str
@@ -158,11 +181,14 @@ class Corruption:
     duration: float
     rate: float = 0.1
     both: bool = False
+    mode: str = "drop"
 
     def __post_init__(self) -> None:
         _check_at(self.at)
         _check_duration(self.duration)
         _check_rate("rate", self.rate)
+        if self.mode not in ("drop", "mangle"):
+            raise ValueError(f"mode must be 'drop' or 'mangle', got {self.mode!r}")
 
 
 @dataclass(frozen=True)
@@ -217,6 +243,133 @@ class ElementDown:
         _check_duration(self.duration)
 
 
+# -- receiver-misbehavior episodes ------------------------------------------
+
+
+@dataclass(frozen=True)
+class GreedyAcker:
+    """``receiver`` runs the ackership-capture + optimistic-ACK
+    attack: every report claims ``capture_loss`` (the loss rate feeds
+    only the §3.5 election metric, so the lie wins and holds the
+    acker seat) while a self-paced timer ACKs sequences up to the
+    SPM-advertised lead — received or not — with all-ones bitmaps, so
+    the window never sees a congestion signal and the ACK clock never
+    starves; the rate is driven faster than TCP-friendly."""
+
+    receiver: str
+    at: float
+    duration: Optional[float] = None
+    #: seconds between candidacy-refreshing fake NAKs
+    report_ivl: float = 0.25
+    #: loss fraction claimed on reports to win the election
+    capture_loss: float = 0.4
+    #: optimistic ACKs per second
+    ack_rate: float = 60.0
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_duration(self.duration)
+        if self.report_ivl <= 0:
+            raise ValueError(f"report_ivl must be > 0, got {self.report_ivl}")
+        if not 0.0 < self.capture_loss <= 1.0:
+            raise ValueError(
+                f"capture_loss must be in (0, 1], got {self.capture_loss}")
+        if self.ack_rate <= 0:
+            raise ValueError(f"ack_rate must be > 0, got {self.ack_rate}")
+
+
+@dataclass(frozen=True)
+class Throttler:
+    """``receiver`` over-reports its loss rate (pinned at
+    ``loss_rate``) to win the election, then drops a fraction of its
+    own ACKs to slow the whole group down."""
+
+    receiver: str
+    at: float
+    duration: Optional[float] = None
+    loss_rate: float = 0.4
+    ack_drop_rate: float = 0.7
+    report_ivl: float = 0.25
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_duration(self.duration)
+        _check_rate("loss_rate", self.loss_rate)
+        _check_rate("ack_drop_rate", self.ack_drop_rate)
+        if self.report_ivl <= 0:
+            raise ValueError(f"report_ivl must be > 0, got {self.report_ivl}")
+
+
+@dataclass(frozen=True)
+class FrozenLead:
+    """``receiver`` keeps reporting the ``rxw_lead`` it had when the
+    episode started (a stale/stuck report generator), inflating its
+    sequence-RTT without lying about loss."""
+
+    receiver: str
+    at: float
+    duration: Optional[float] = None
+    report_ivl: float = 0.25
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_duration(self.duration)
+        if self.report_ivl <= 0:
+            raise ValueError(f"report_ivl must be > 0, got {self.report_ivl}")
+
+
+@dataclass(frozen=True)
+class NakStorm:
+    """``receiver`` floods the source with repair-requesting NAKs for
+    random already-transmitted sequences at ``rate`` per second."""
+
+    receiver: str
+    at: float
+    duration: float
+    rate: float = 200.0
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_duration(self.duration)
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+
+
+@dataclass(frozen=True)
+class AckReplay:
+    """``receiver`` re-sends ``copies`` verbatim copies of its most
+    recent ACK every ``interval`` seconds (duplicated stale feedback
+    skews dupack-based loss detection at the sender)."""
+
+    receiver: str
+    at: float
+    duration: float
+    copies: int = 3
+    interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_duration(self.duration)
+        if self.copies < 1:
+            raise ValueError(f"copies must be >= 1, got {self.copies}")
+        if self.interval <= 0:
+            raise ValueError(f"interval must be > 0, got {self.interval}")
+
+
+@dataclass(frozen=True)
+class SilentJoiner:
+    """``receiver`` stays subscribed but suppresses every ACK and NAK
+    it would send (a joined-but-mute group member)."""
+
+    receiver: str
+    at: float
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        _check_duration(self.duration)
+
+
 #: Every episode type a plan may carry.
 FaultEpisode = Union[
     LinkDown,
@@ -228,7 +381,15 @@ FaultEpisode = Union[
     NodeResume,
     NodeCrash,
     ElementDown,
+    GreedyAcker,
+    Throttler,
+    FrozenLead,
+    NakStorm,
+    AckReplay,
+    SilentJoiner,
 ]
+
+_RX_EPISODES = (GreedyAcker, Throttler, FrozenLead, NakStorm, AckReplay, SilentJoiner)
 
 _EPISODE_TYPES = (
     LinkDown,
@@ -240,9 +401,21 @@ _EPISODE_TYPES = (
     NodeResume,
     NodeCrash,
     ElementDown,
-)
+) + _RX_EPISODES
 
 _LINK_EPISODES = (LinkDown, LinkImpairment, BurstLoss, Duplication, Corruption)
+
+#: Episode type -> (behaviour kind, parameter-field names) for the
+#: receiver-misbehavior episodes.  The kind string is the duck-typed
+#: contract with ``misbehave_start``/``misbehave_stop``.
+_RX_EPISODE_KINDS: dict[type, tuple[str, tuple[str, ...]]] = {
+    GreedyAcker: ("greedy-acker", ("report_ivl", "capture_loss", "ack_rate")),
+    Throttler: ("throttler", ("loss_rate", "ack_drop_rate", "report_ivl")),
+    FrozenLead: ("frozen-lead", ("report_ivl",)),
+    NakStorm: ("nak-storm", ("rate",)),
+    AckReplay: ("ack-replay", ("copies", "interval")),
+    SilentJoiner: ("silent-joiner", ()),
+}
 
 
 def flap_link(
@@ -330,6 +503,9 @@ class FaultPlan:
             elif isinstance(ep, ElementDown):
                 if ep.router not in net.nodes:
                     raise ValueError(f"unknown router {ep.router!r} in {ep!r}")
+            elif isinstance(ep, _RX_EPISODES):
+                if ep.receiver != ACKER and ep.receiver not in net.nodes:
+                    raise ValueError(f"unknown receiver {ep.receiver!r} in {ep!r}")
 
 
 @dataclass(frozen=True)
@@ -393,8 +569,10 @@ class _LinkOverrides:
             self.link.loss = self.base_loss if top is None else top
         else:  # dup / corrupt share one configuration call
             dup = self._top("dup") or 0.0
-            corrupt = self._top("corrupt") or 0.0
-            self.link.set_fault_stages(dup, corrupt, self.stage_rng)
+            corrupt = self._top("corrupt") or (0.0, "drop")
+            corrupt_rate, corrupt_mode = corrupt
+            self.link.set_fault_stages(dup, corrupt_rate, self.stage_rng,
+                                       corrupt_mode=corrupt_mode)
 
 
 class FaultInjector:
@@ -406,6 +584,10 @@ class FaultInjector:
         acker_lookup: zero-argument callable returning the current
             acker's host name (or ``None``); required for plans using
             the :data:`ACKER` sentinel to do anything.
+        receiver_lookup: callable mapping a receiver/host name to the
+            receiver agent carrying the ``misbehave_start``/``_stop``
+            hooks (or ``None``); required for the receiver-misbehavior
+            episodes to do anything.
         validate: check the plan against the topology up front.
 
     All state changes are applied from simulator callbacks, so a
@@ -419,11 +601,13 @@ class FaultInjector:
         net: "Network",
         plan: FaultPlan,
         acker_lookup: Optional[Callable[[], Optional[str]]] = None,
+        receiver_lookup: Optional[Callable[[str], object]] = None,
         validate: bool = True,
     ):
         self.net = net
         self.plan = plan
         self.acker_lookup = acker_lookup
+        self.receiver_lookup = receiver_lookup
         self.log: list[FaultRecord] = []
         self._overrides: dict[str, _LinkOverrides] = {}
         self._tokens = itertools.count(1)
@@ -495,11 +679,14 @@ class FaultInjector:
                     self._at(ep.at, self._push, state, knob, token, value)
                     self._at(ep.at + ep.duration, self._pop, state, knob, token)
         elif isinstance(ep, (Duplication, Corruption)):
-            knob = "dup" if isinstance(ep, Duplication) else "corrupt"
+            if isinstance(ep, Duplication):
+                knob, value = "dup", ep.rate
+            else:
+                knob, value = "corrupt", (ep.rate, ep.mode)
             for link in self._links_for(ep.a, ep.b, ep.both):
                 state = self._override_state(link)
                 token = next(self._tokens)
-                self._at(ep.at, self._push, state, knob, token, ep.rate)
+                self._at(ep.at, self._push, state, knob, token, value)
                 self._at(ep.at + ep.duration, self._pop, state, knob, token)
         elif isinstance(ep, NodePause):
             self._at(ep.at, self._node_action, ep.node, "pause")
@@ -513,6 +700,13 @@ class FaultInjector:
             self._at(ep.at, self._element, ep.router, False)
             if ep.duration is not None:
                 self._at(ep.at + ep.duration, self._element, ep.router, True)
+        elif isinstance(ep, _RX_EPISODES):
+            kind, fields = _RX_EPISODE_KINDS[type(ep)]
+            params = {name: getattr(ep, name) for name in fields}
+            self._at(ep.at, self._rx_behavior, ep.receiver, kind, True, params)
+            if ep.duration is not None:
+                self._at(ep.at + ep.duration,
+                         self._rx_behavior, ep.receiver, kind, False, params)
 
     # -- fire-time actions -------------------------------------------------
 
@@ -549,6 +743,26 @@ class FaultInjector:
                 return None
             return self.net.nodes.get(acker)
         return self.net.nodes.get(name)
+
+    def _rx_behavior(self, name: str, kind: str, start: bool, params: dict) -> None:
+        resolved = name
+        if resolved == ACKER:
+            acker = self.acker_lookup() if self.acker_lookup is not None else None
+            if acker is None:
+                self._record(f"{kind}-skipped", name)
+                return
+            resolved = acker
+        agent = self.receiver_lookup(resolved) if self.receiver_lookup else None
+        if agent is None or not hasattr(agent, "misbehave_start"):
+            self._record(f"{kind}-skipped", resolved)
+            return
+        if start:
+            rng = self.net.rng.stream(f"fault-rx:{resolved}")
+            agent.misbehave_start(kind, self.net.sim.now, rng, **params)
+            self._record(f"{kind}-start", resolved)
+        else:
+            agent.misbehave_stop(kind)
+            self._record(f"{kind}-stop", resolved)
 
     def _element(self, router: str, enabled: bool) -> None:
         node = self.net.nodes.get(router)

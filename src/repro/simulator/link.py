@@ -19,9 +19,12 @@ path is unaffected.  Fault semantics:
 * a *down* link rejects new packets on ingress (``fault_drops``);
   packets already queued or in flight still complete — the outage
   models a path failure at the ingress interface, not a cable cut;
-* *corruption* drops the packet at ingress with its own counter
-  (``corrupt_drops``), modelling a checksum failure at the receiving
-  interface;
+* *corruption* in ``drop`` mode drops the packet at ingress with its
+  own counter (``corrupt_drops``), modelling a checksum failure at the
+  receiving interface; in ``mangle`` mode the packet is delivered with
+  its encoded bytes bit-flipped instead (``corrupt_mangled``) so the
+  receiving protocol's ``decode()`` path has to cope — payloads with
+  no byte codec fall back to drop;
 * *duplication* injects a second copy of the packet into the
   transmitter (``fault_duplicates``), so the conservation identity
   becomes ``sent + fault_duplicates == delivered + all drops +
@@ -90,10 +93,12 @@ class Link:
         self.up = True
         self.fault_drops = 0
         self.corrupt_drops = 0
+        self.corrupt_mangled = 0
         self.fault_duplicates = 0
         self.in_transit = 0
         self._dup_rate = 0.0
         self._corrupt_rate = 0.0
+        self._corrupt_mode = "drop"
         self._fault_rng = None
 
     # -- wiring ----------------------------------------------------------
@@ -126,9 +131,16 @@ class Link:
             return False
         if self._fault_rng is not None:
             if self._corrupt_rate > 0.0 and self._fault_rng.random() < self._corrupt_rate:
-                self.corrupt_drops += 1
-                self._notify("drop-corrupt", packet)
-                return False
+                mangled = None
+                if self._corrupt_mode == "mangle":
+                    mangled = self._mangle(packet)
+                if mangled is None:
+                    self.corrupt_drops += 1
+                    self._notify("drop-corrupt", packet)
+                    return False
+                self.corrupt_mangled += 1
+                self._notify("mangle", packet)
+                packet = mangled
             if self._dup_rate > 0.0 and self._fault_rng.random() < self._dup_rate:
                 self.fault_duplicates += 1
                 self._notify("duplicate", packet)
@@ -176,11 +188,34 @@ class Link:
         """Re-enable a downed link."""
         self.up = True
 
-    def set_fault_stages(self, dup_rate: float, corrupt_rate: float, rng) -> None:
+    def set_fault_stages(self, dup_rate: float, corrupt_rate: float, rng,
+                         corrupt_mode: str = "drop") -> None:
         """Configure the duplication/corruption stages (0.0 disables)."""
         self._dup_rate = dup_rate
         self._corrupt_rate = corrupt_rate
+        self._corrupt_mode = corrupt_mode
         self._fault_rng = rng if (dup_rate > 0.0 or corrupt_rate > 0.0) else None
+
+    def _mangle(self, packet: Packet):
+        """Encode ``packet``'s payload and flip a few bytes; returns a
+        fresh packet carrying the raw bytes (the original object is
+        left untouched — multicast forwarding shares packet instances
+        across branches) or ``None`` when the payload has no codec."""
+        pack = getattr(packet.payload, "pack", None)
+        if pack is None:
+            return None
+        try:
+            raw = bytearray(pack())
+        except Exception:
+            return None
+        if not raw:
+            return None
+        for _ in range(self._fault_rng.randint(1, 3)):
+            pos = self._fault_rng.randrange(len(raw))
+            raw[pos] ^= 1 << self._fault_rng.randrange(8)
+        return Packet(packet.src, packet.dst, packet.size, bytes(raw),
+                      packet.proto, created_at=packet.created_at,
+                      hops=packet.hops)
 
     def conserves_packets(self) -> bool:
         """The runtime conservation identity (fault-aware, any instant)."""

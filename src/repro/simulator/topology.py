@@ -170,19 +170,23 @@ class Network:
 
     # -- fault injection ---------------------------------------------------
 
-    def install_faults(self, plan, acker_lookup=None, validate: bool = True):
+    def install_faults(self, plan, acker_lookup=None, validate: bool = True,
+                       receiver_lookup=None):
         """Compile a :class:`~repro.simulator.faults.FaultPlan` onto
         this network's event heap; returns the
         :class:`~repro.simulator.faults.FaultInjector`.
 
         ``acker_lookup`` is a zero-argument callable resolving the
-        :data:`~repro.simulator.faults.ACKER` sentinel at fire time
-        (``repro.pgm.create_session`` wires it automatically).
+        :data:`~repro.simulator.faults.ACKER` sentinel at fire time;
+        ``receiver_lookup`` maps a receiver/host name to the protocol
+        agent driving receiver-misbehavior episodes
+        (``repro.pgm.create_session`` wires both automatically).
         """
         from .faults import FaultInjector
 
         injector = FaultInjector(self, plan, acker_lookup=acker_lookup,
-                                 validate=validate)
+                                 validate=validate,
+                                 receiver_lookup=receiver_lookup)
         self.fault_injectors.append(injector)
         return injector
 
