@@ -1,16 +1,12 @@
 """ABL-DUP — §5: dupack threshold sweep."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import ablations
 
 
-def test_bench_dupack(benchmark):
-    result = benchmark.pedantic(
-        ablations.run_dupack, kwargs={"scale": max(BENCH_SCALE, 0.25)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_dupack(cached_experiment):
+    result = cached_experiment(ablations.run_dupack, scale=max(BENCH_SCALE, 0.25))
     # the paper's preliminary finding: no significant fairness impact
     for threshold in (2, 3, 4, 5):
         assert result.metrics[f"dupack={threshold}:ratio"] < 4.5

@@ -1,17 +1,13 @@
 """Benches for the §5 future-work extensions: the Padhye election
 model, adaptive slow-start threshold, and TFRC loss measurement."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import ablations
 
 
-def test_bench_throughput_model(benchmark):
-    result = benchmark.pedantic(
-        ablations.run_throughput_model, kwargs={"scale": max(BENCH_SCALE, 0.3)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_throughput_model(cached_experiment):
+    result = cached_experiment(ablations.run_throughput_model, scale=max(BENCH_SCALE, 0.3))
     # the Padhye model must identify the heavily lossy receiver as the
     # bottleneck and adapt the session rate far below the clean-link rate
     assert result.metrics["padhye:dominant"] == "lossy"
@@ -19,24 +15,16 @@ def test_bench_throughput_model(benchmark):
         assert result.metrics[f"{model}:rate"] < 500_000
 
 
-def test_bench_adaptive_ssthresh(benchmark):
-    result = benchmark.pedantic(
-        ablations.run_adaptive_ssthresh, kwargs={"scale": max(BENCH_SCALE, 0.3)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_adaptive_ssthresh(cached_experiment):
+    result = cached_experiment(ablations.run_adaptive_ssthresh, scale=max(BENCH_SCALE, 0.3))
     # neither variant starves TCP or itself completely
     for label in ("fixed-6", "adaptive"):
         assert result.metrics[f"{label}:pgm"] > 50_000
         assert result.metrics[f"{label}:tcp"] > 50_000
 
 
-def test_bench_loss_estimator(benchmark):
-    result = benchmark.pedantic(
-        ablations.run_loss_estimator, kwargs={"scale": max(BENCH_SCALE, 0.3)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_loss_estimator(cached_experiment):
+    result = cached_experiment(ablations.run_loss_estimator, scale=max(BENCH_SCALE, 0.3))
     # both estimators track the loss the run actually experienced
     # (under independent losses TFRC's event rate equals the packet
     # loss rate; the burst-clustering difference is unit-tested)

@@ -1,16 +1,12 @@
 """ABL-NE — §3.7: NE suppression off / on / rx_loss-aware."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import ablations
 
 
-def test_bench_ne_suppression(benchmark):
-    result = benchmark.pedantic(
-        ablations.run_ne_suppression, kwargs={"scale": max(BENCH_SCALE, 0.25)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_ne_suppression(cached_experiment):
+    result = cached_experiment(ablations.run_ne_suppression, scale=max(BENCH_SCALE, 0.25))
     # suppression does not break the election or fairness
     for label in ("no-NE", "NE-suppression", "NE-rx-loss-aware"):
         assert result.metrics[f"{label}:ratio"] < 8.0

@@ -1,17 +1,13 @@
 """ABL-RTT — §3.2.1: sequence-based vs time-based RTT."""
 
 import pytest
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import ablations
 
 
-def test_bench_rtt_mode(benchmark):
-    result = benchmark.pedantic(
-        ablations.run_rtt_mode, kwargs={"scale": max(BENCH_SCALE, 0.3)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_rtt_mode(cached_experiment):
+    result = cached_experiment(ablations.run_rtt_mode, scale=max(BENCH_SCALE, 0.3))
     # the paper: time-based RTT "does not yield any better behaviour" —
     # both modes find the same plateau ladder
     for phase in (1, 2, 3, 4):

@@ -1,16 +1,12 @@
 """ABL-SS — §3.4: the fixed slow-start threshold (paper: 6 packets)."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import ablations
 
 
-def test_bench_ssthresh(benchmark):
-    result = benchmark.pedantic(
-        ablations.run_ssthresh, kwargs={"scale": max(BENCH_SCALE, 0.25)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_ssthresh(cached_experiment):
+    result = cached_experiment(ablations.run_ssthresh, scale=max(BENCH_SCALE, 0.25))
     # the paper's fixed 6 competes fairly and avoids startup stalls
     assert result.metrics["ssthresh=6:ratio"] < 4.5
     assert result.metrics["ssthresh=6:stalls"] <= 2

@@ -1,16 +1,12 @@
 """ABL-C — §3.5: the switch bias constant c."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import ablations
 
 
-def test_bench_switch_bias(benchmark):
-    result = benchmark.pedantic(
-        ablations.run_switch_bias, kwargs={"scale": max(BENCH_SCALE, 0.25)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_switch_bias(cached_experiment):
+    result = cached_experiment(ablations.run_switch_bias, scale=max(BENCH_SCALE, 0.25))
     # biasing toward the incumbent removes unnecessary switches among
     # equivalent receivers without hurting throughput
     assert result.metrics["c=0.75:switches"] <= result.metrics["c=1.0:switches"]

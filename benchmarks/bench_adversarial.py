@@ -3,17 +3,13 @@ NAK storm, ACK replay) against the sender-side feedback guard, with a
 competing TCP flow on the bottleneck and the runtime invariant checker
 (including quarantined-never-acker) as the oracle."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import adversarial
 
 
-def test_bench_adversarial(benchmark):
-    result = benchmark.pedantic(
-        adversarial.run, kwargs={"scale": max(BENCH_SCALE, 0.5)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_adversarial(cached_experiment):
+    result = cached_experiment(adversarial.run, scale=max(BENCH_SCALE, 0.5))
     m = result.metrics
     baseline = m["baseline:on:compliant_bps"]
 

@@ -2,17 +2,13 @@
 burst loss, duplication, corruption, receiver pause) with the runtime
 invariant checker attached as the oracle."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import robustness
 
 
-def test_bench_chaos(benchmark):
-    result = benchmark.pedantic(
-        robustness.run_chaos, kwargs={"scale": max(BENCH_SCALE, 0.3)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_chaos(cached_experiment):
+    result = cached_experiment(robustness.run_chaos, scale=max(BENCH_SCALE, 0.3))
     # every scheduled episode actually fired
     assert result.metrics["faults_fired"] >= 8
     assert result.metrics["crashes"] == 1

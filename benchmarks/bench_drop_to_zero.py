@@ -1,17 +1,12 @@
 """EXP-DTZ — demonstrating the drop-to-zero problem pgmcc avoids."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import drop_to_zero
 
 
-def test_bench_drop_to_zero(benchmark):
-    result = benchmark.pedantic(
-        drop_to_zero.run,
-        kwargs={"scale": max(BENCH_SCALE, 0.3), "group_sizes": (1, 10, 40)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_drop_to_zero(cached_experiment):
+    result = cached_experiment(drop_to_zero.run, scale=max(BENCH_SCALE, 0.3), group_sizes=(1, 10, 40))
     # naive aggregation collapses as the group grows (the [23] problem)
     assert result.metrics["eq-naive:collapse"] > 3.0
     # proper worst-report aggregation and pgmcc are group-size independent

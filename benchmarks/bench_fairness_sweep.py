@@ -1,6 +1,6 @@
 """EXP-SWEEP — §4.3's configuration grid, plus the delayed-ACK note."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import ablations, fairness_sweep
 
@@ -14,14 +14,10 @@ QUICK_GRID = tuple(
 )
 
 
-def test_bench_fairness_sweep(benchmark):
+def test_bench_fairness_sweep(cached_experiment):
     scale = max(BENCH_SCALE, 0.3)
     grid = fairness_sweep.DEFAULT_GRID if scale >= 1.0 else QUICK_GRID
-    result = benchmark.pedantic(
-        fairness_sweep.run, kwargs={"scale": scale, "grid": grid},
-        rounds=1, iterations=1,
-    )
-    report(result)
+    result = cached_experiment(fairness_sweep.run, scale=scale, grid=grid)
     # §4.3: good sharing in all configurations, no starvation anywhere
     assert result.metrics["worst_ratio"] < 4.0
     for row in result.rows:
@@ -29,12 +25,8 @@ def test_bench_fairness_sweep(benchmark):
         assert row["tcp_kbps"] > 0.05 * row["rate_kbps"]
 
 
-def test_bench_delayed_acks(benchmark):
-    result = benchmark.pedantic(
-        ablations.run_delayed_acks, kwargs={"scale": max(BENCH_SCALE, 0.3)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_delayed_acks(cached_experiment):
+    result = cached_experiment(ablations.run_delayed_acks, scale=max(BENCH_SCALE, 0.3))
     # no-starvation holds with either TCP receiver behaviour
     for label in ("delack", "no-delack"):
         assert result.metrics[f"{label}:ratio"] < 4.0

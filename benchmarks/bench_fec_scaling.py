@@ -1,18 +1,13 @@
 """EXP-FEC — Fig. 7 at scale with FEC repair instead of RDATA."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import fec_scaling
 
 
-def test_bench_fec_scaling(benchmark):
+def test_bench_fec_scaling(cached_experiment):
     scale = max(BENCH_SCALE, 0.3)
-    result = benchmark.pedantic(
-        fec_scaling.run,
-        kwargs={"scale": scale, "n_receivers": 30},
-        rounds=1, iterations=1,
-    )
-    report(result)
+    result = cached_experiment(fec_scaling.run, scale=scale, n_receivers=30)
     # retransmission repair is a substantial share of source traffic
     assert result.metrics["rdata:repair_share"] > 0.05
     # FEC sends zero repairs in every configuration

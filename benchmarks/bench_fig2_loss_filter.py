@@ -1,16 +1,12 @@
 """EXP-F2 — Fig. 2: loss-rate computation at receivers."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import fig2_loss_filter
 
 
-def test_bench_fig2(benchmark):
-    result = benchmark.pedantic(
-        fig2_loss_filter.run, kwargs={"scale": max(BENCH_SCALE, 0.25)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_fig2(cached_experiment):
+    result = cached_experiment(fig2_loss_filter.run, scale=max(BENCH_SCALE, 0.25))
     # 5% lossy link: the paper's W keeps the output around
     # 0.05 * 2^16 ≈ 3277, within the figure's 2000–6000 band.
     mean = result.metrics["lossy-5pct:w65000:mean"]

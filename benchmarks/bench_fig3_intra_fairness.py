@@ -1,16 +1,12 @@
 """EXP-F3 — Fig. 3: intra-protocol fairness (two pgmcc sessions)."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import fig3_intra_fairness
 
 
-def test_bench_fig3(benchmark):
-    result = benchmark.pedantic(
-        fig3_intra_fairness.run, kwargs={"scale": max(BENCH_SCALE, 0.3)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_fig3(cached_experiment):
+    result = cached_experiment(fig3_intra_fairness.run, scale=max(BENCH_SCALE, 0.3))
     # non-lossy: session 1 halves when session 2 starts, even split after
     assert result.metrics["non-lossy:jain"] > 0.9
     alone = result.metrics["non-lossy:rate1_alone"]

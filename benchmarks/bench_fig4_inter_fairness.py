@@ -1,16 +1,12 @@
 """EXP-F4 — Fig. 4: inter-protocol fairness (pgmcc vs TCP)."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import fig4_inter_fairness
 
 
-def test_bench_fig4(benchmark):
-    result = benchmark.pedantic(
-        fig4_inter_fairness.run, kwargs={"scale": max(BENCH_SCALE, 0.3)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_fig4(cached_experiment):
+    result = cached_experiment(fig4_inter_fairness.run, scale=max(BENCH_SCALE, 0.3))
     for label in ("non-lossy", "lossy"):
         # good sharing, no starvation either way
         assert result.metrics[f"{label}:ratio"] < 3.5

@@ -1,17 +1,13 @@
 """EXP-F5 — Fig. 5: acker selection across two bottlenecks."""
 
 import pytest
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import fig5_acker_selection
 
 
-def test_bench_fig5(benchmark):
-    result = benchmark.pedantic(
-        fig5_acker_selection.run, kwargs={"scale": max(BENCH_SCALE, 0.3)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_fig5(cached_experiment):
+    result = cached_experiment(fig5_acker_selection.run, scale=max(BENCH_SCALE, 0.3))
     # the paper's plateau ladder: ≈500 → ≈400 → well below → recovery
     assert result.metrics["plateau1"] == pytest.approx(500_000, rel=0.15)
     assert result.metrics["plateau2"] == pytest.approx(400_000, rel=0.15)

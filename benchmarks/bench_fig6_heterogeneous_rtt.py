@@ -1,16 +1,12 @@
 """EXP-F6 — Fig. 6: shared bottleneck, spread receiver RTTs."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import fig6_heterogeneous_rtt
 
 
-def test_bench_fig6(benchmark):
-    result = benchmark.pedantic(
-        fig6_heterogeneous_rtt.run, kwargs={"scale": max(BENCH_SCALE, 0.25)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_fig6(cached_experiment):
+    result = cached_experiment(fig6_heterogeneous_rtt.run, scale=max(BENCH_SCALE, 0.25))
     receivers = {"pr0", "pr1", "pr2", "pr3"}
     for label in ("no-NE", "NE-suppression", "NE-rx-loss-aware"):
         # the acker is always one of the group's receivers

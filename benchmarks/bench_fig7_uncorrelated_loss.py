@@ -1,20 +1,15 @@
 """EXP-F7 — Fig. 7: 100 receivers with uncorrelated 1 % loss."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import fig7_uncorrelated_loss
 
 
-def test_bench_fig7(benchmark):
+def test_bench_fig7(cached_experiment):
     scale = max(BENCH_SCALE, 0.15)
     # full receiver population only at larger scales (runtime)
     total = 100 if scale >= 0.5 else 60
-    result = benchmark.pedantic(
-        fig7_uncorrelated_loss.run,
-        kwargs={"scale": scale, "total_receivers": total},
-        rounds=1, iterations=1,
-    )
-    report(result)
+    result = cached_experiment(fig7_uncorrelated_loss.run, scale=scale, total_receivers=total)
     # no drop-to-zero: the mass join leaves throughput within a small
     # factor (the paper even allows a modest increase)
     assert 0.5 < result.metrics["change_ratio"] < 2.0

@@ -1,17 +1,13 @@
 """EXP-MPATH / EXP-CHURN / ABL-BURST — robustness scenarios the paper
 describes in prose (§4 multipath tests; churn; bursty loss)."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import robustness
 
 
-def test_bench_multipath(benchmark):
-    result = benchmark.pedantic(
-        robustness.run_multipath, kwargs={"scale": max(BENCH_SCALE, 0.3)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_multipath(cached_experiment):
+    result = cached_experiment(robustness.run_multipath, scale=max(BENCH_SCALE, 0.3))
     # reordering must not stall or starve the session
     assert result.metrics["stalls"] == 0
     assert result.metrics["sprayed_rate"] > 0.4 * result.metrics["single_rate"]
@@ -19,23 +15,15 @@ def test_bench_multipath(benchmark):
     assert result.metrics["spurious_reactions"] >= 0
 
 
-def test_bench_churn(benchmark):
-    result = benchmark.pedantic(
-        robustness.run_churn, kwargs={"scale": max(BENCH_SCALE, 0.3)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_churn(cached_experiment):
+    result = cached_experiment(robustness.run_churn, scale=max(BENCH_SCALE, 0.3))
     assert result.metrics["churn_events"] >= 6
     assert result.metrics["rate"] > 100_000  # alive and healthy
     assert result.metrics["longest_gap"] < 10.0  # never wedged
 
 
-def test_bench_bursty_loss(benchmark):
-    result = benchmark.pedantic(
-        robustness.run_bursty_loss, kwargs={"scale": max(BENCH_SCALE, 0.3)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_bursty_loss(cached_experiment):
+    result = cached_experiment(robustness.run_bursty_loss, scale=max(BENCH_SCALE, 0.3))
     for pattern in ("bernoulli", "bursty"):
         assert result.metrics[f"{pattern}:rate"] > 50_000
     # clustered losses = fewer congestion events = at least as fast

@@ -1,18 +1,14 @@
 """EXP-SCALE — §4's large-scale (up to 200 receivers) scalability test."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import scalability
 
 
-def test_bench_scalability(benchmark):
+def test_bench_scalability(cached_experiment):
     scale = max(BENCH_SCALE, 0.3)
     sizes = (25, 50, 100, 200) if scale >= 1.0 else (25, 50, 100)
-    result = benchmark.pedantic(
-        scalability.run, kwargs={"scale": scale, "group_sizes": sizes},
-        rounds=1, iterations=1,
-    )
-    report(result)
+    result = cached_experiment(scalability.run, scale=scale, group_sizes=sizes)
     small, large = sizes[0], sizes[-1]
     # a single acker: ~1 ACK per data packet at every group size
     for n in sizes:

@@ -1,16 +1,12 @@
 """EXP-UNREL — §3.9: pgmcc without reliability, driving an adaptive app."""
 
-from conftest import BENCH_SCALE, report
+from conftest import BENCH_SCALE
 
 from repro.experiments import unreliable_mode
 
 
-def test_bench_unreliable(benchmark):
-    result = benchmark.pedantic(
-        unreliable_mode.run, kwargs={"scale": max(BENCH_SCALE, 0.3)},
-        rounds=1, iterations=1,
-    )
-    report(result)
+def test_bench_unreliable(cached_experiment):
+    result = cached_experiment(unreliable_mode.run, scale=max(BENCH_SCALE, 0.3))
     # no repairs ever; reports still reach the source
     assert result.metrics["rdata_sent"] == 0
     assert result.metrics["naks_received"] > 0

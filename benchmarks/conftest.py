@@ -8,15 +8,63 @@ catches performance regressions in the simulator itself.
 
 Scale: benches default to BENCH_SCALE (quick).  Set the environment
 variable ``PGMCC_BENCH_SCALE=1.0`` for paper-faithful durations.
+
+Caching: experiment benches run through the ``cached_experiment``
+fixture, which routes them via ``repro.runner``'s content-addressed
+result cache (key: experiment callable, kwargs, source fingerprint —
+shared with ``python -m repro.runner`` sweeps).  A re-run after edits
+that cannot change results (docs, tests, benches) is a near-instant
+cache hit, recorded in the benchmark's ``extra_info`` — so hit timings
+measure cache-load cost, not simulation cost.  Set
+``PGMCC_BENCH_CACHE=0`` to force cold, comparable timings, and
+``PGMCC_CACHE_DIR`` to relocate the store (default ``results/cache``).
 """
 
 import os
 
+import pytest
+
 #: default fraction of the paper's experiment durations
 BENCH_SCALE = float(os.environ.get("PGMCC_BENCH_SCALE", "0.25"))
+
+#: route experiment benches through the runner's result cache
+BENCH_CACHE = os.environ.get("PGMCC_BENCH_CACHE", "1").lower() not in (
+    "0", "false", "no")
+
+CACHE_DIR = os.environ.get("PGMCC_CACHE_DIR", os.path.join("results", "cache"))
 
 
 def report(result) -> None:
     """Print one experiment's table + expectation under -s."""
     print()
     print(result.report())
+
+
+@pytest.fixture
+def cached_experiment(benchmark):
+    """Run ``fn(**kwargs)`` through the runner's result cache, timed.
+
+    Usage::
+
+        result = cached_experiment(fig2_loss_filter.run, scale=0.25)
+
+    Returns the :class:`ExperimentResult` (reconstructed from the cache
+    on a hit) and tags the benchmark with ``extra_info["cache"]``.
+    """
+    from repro.runner import ResultCache
+
+    cache = ResultCache(CACHE_DIR) if BENCH_CACHE else None
+
+    def _run(fn, **kwargs):
+        if cache is None:
+            outcome = benchmark.pedantic(
+                lambda: (fn(**kwargs), False), rounds=1, iterations=1)
+        else:
+            outcome = benchmark.pedantic(
+                cache.fetch_or_run, args=(fn, kwargs), rounds=1, iterations=1)
+        result, hit = outcome
+        benchmark.extra_info["cache"] = "hit" if hit else "miss"
+        report(result)
+        return result
+
+    return _run

@@ -9,8 +9,20 @@ the paper-faithful duration.
 
 from __future__ import annotations
 
+import hashlib
+import importlib
+import json
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding used for digests and cache keys.
+
+    Tuples become lists (the JSON round-trip does the same), dict keys
+    are sorted, and anything non-JSON falls back to ``repr``.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=repr)
 
 
 @dataclass
@@ -26,6 +38,31 @@ class ExperimentResult:
 
     def add_row(self, **fields: Any) -> None:
         self.rows.append(fields)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form (tuples normalise to lists) used by the
+        runner's cache and run manifests."""
+        return json.loads(canonical_json({
+            "name": self.name,
+            "params": self.params,
+            "rows": self.rows,
+            "metrics": self.metrics,
+            "expectation": self.expectation,
+        }))
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExperimentResult":
+        return cls(
+            name=data["name"],
+            params=dict(data.get("params", {})),
+            rows=list(data.get("rows", [])),
+            metrics=dict(data.get("metrics", {})),
+            expectation=data.get("expectation", ""),
+        )
+
+    def digest(self) -> str:
+        """Content digest of the result (timing-free, order-stable)."""
+        return hashlib.sha256(canonical_json(self.to_dict()).encode()).hexdigest()
 
     def format_table(self) -> str:
         """Plain-text table of the rows (the figure's 'data')."""
@@ -66,3 +103,34 @@ def _fmt(value: Any) -> str:
 def kbps(bps: float) -> float:
     """bits/s -> kbit/s, rounded for table display."""
     return round(bps / 1000.0, 1)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Spawn-safe descriptor of one experiment in the registry.
+
+    Unlike a lambda, a spec is picklable and hashable: a worker process
+    reconstructs the callable from ``module``/``func`` by import.  The
+    effective simulated duration of a run is ``scale * scale_factor``
+    (some experiments run at half duration in the full report).
+    """
+
+    id: str
+    module: str
+    func: str = "run"
+    #: multiplier applied to the sweep-wide scale for this experiment
+    scale_factor: float = 1.0
+    #: extra keyword arguments, as a tuple of (name, value) pairs so the
+    #: spec stays hashable; values must be picklable
+    kwargs: tuple[tuple[str, Any], ...] = ()
+    description: str = ""
+
+    def resolve(self) -> Callable[..., ExperimentResult]:
+        mod = importlib.import_module(self.module)
+        return getattr(mod, self.func)
+
+    def call_kwargs(self, scale: float) -> dict[str, Any]:
+        return {"scale": scale * self.scale_factor, **dict(self.kwargs)}
+
+    def run(self, scale: float = 1.0) -> ExperimentResult:
+        return self.resolve()(**self.call_kwargs(scale))

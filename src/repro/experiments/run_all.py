@@ -6,72 +6,136 @@ Usage::
 
 ``scale`` defaults to 1.0 (paper-faithful durations; a few minutes of
 wall time).  The output of this module at scale 1.0 is what
-EXPERIMENTS.md records.
+EXPERIMENTS.md records.  A raising experiment no longer aborts the
+rest of the report: its traceback is collected and printed at the end,
+and the exit status is non-zero.
+
+For a parallel, cached sweep over the same registry use
+``python -m repro.runner -j auto`` (see ``repro.runner``).
 """
 
 from __future__ import annotations
 
 import sys
-import time
 
-from . import (
-    ablations,
-    adversarial,
-    drop_to_zero,
-    fairness_sweep,
-    fec_scaling,
-    robustness,
-    scalability,
-    fig2_loss_filter,
-    fig3_intra_fairness,
-    fig4_inter_fairness,
-    fig5_acker_selection,
-    fig6_heterogeneous_rtt,
-    fig7_uncorrelated_loss,
-    unreliable_mode,
+from .common import ExperimentSpec
+
+#: The experiment registry: every figure, extension and ablation of the
+#: report, as spawn-safe descriptors (see :class:`ExperimentSpec`).
+#: ``repro.runner`` shards this list across a worker pool; this module
+#: runs it sequentially in-process.
+REGISTRY: tuple[ExperimentSpec, ...] = (
+    ExperimentSpec("EXP-F2", "repro.experiments.fig2_loss_filter",
+                   description="Fig. 2: loss-rate filter at receivers"),
+    ExperimentSpec("EXP-F3", "repro.experiments.fig3_intra_fairness",
+                   description="Fig. 3: intra-protocol fairness"),
+    ExperimentSpec("EXP-F4", "repro.experiments.fig4_inter_fairness",
+                   description="Fig. 4: inter-protocol fairness vs TCP"),
+    ExperimentSpec("EXP-F5", "repro.experiments.fig5_acker_selection",
+                   description="Fig. 5: acker selection/tracking plateaus"),
+    ExperimentSpec("EXP-F6", "repro.experiments.fig6_heterogeneous_rtt",
+                   description="Fig. 6: heterogeneous RTTs + NE suppression"),
+    ExperimentSpec("EXP-F7", "repro.experiments.fig7_uncorrelated_loss",
+                   description="Fig. 7: 50 receivers with uncorrelated loss"),
+    ExperimentSpec("EXP-UNREL", "repro.experiments.unreliable_mode",
+                   description="unreliable mode: cc without repairs"),
+    ExperimentSpec("EXP-FEC", "repro.experiments.fec_scaling", scale_factor=0.5,
+                   description="FEC redundancy ladder vs RDATA repair"),
+    ExperimentSpec("EXP-DTZ", "repro.experiments.drop_to_zero", scale_factor=0.5,
+                   kwargs=(("group_sizes", (1, 10, 40)),),
+                   description="drop-to-zero: feedback aggregation collapse"),
+    ExperimentSpec("ABL-C", "repro.experiments.ablations", "run_switch_bias",
+                   scale_factor=0.5, description="ablation: acker switch bias c"),
+    ExperimentSpec("ABL-RTT", "repro.experiments.ablations", "run_rtt_mode",
+                   scale_factor=0.5, description="ablation: time vs seq RTT mode"),
+    ExperimentSpec("ABL-DUP", "repro.experiments.ablations", "run_dupack",
+                   scale_factor=0.5, description="ablation: dupack threshold"),
+    ExperimentSpec("ABL-SS", "repro.experiments.ablations", "run_ssthresh",
+                   scale_factor=0.5, description="ablation: initial ssthresh"),
+    ExperimentSpec("ABL-NE", "repro.experiments.ablations", "run_ne_suppression",
+                   scale_factor=0.5, description="ablation: NE NAK suppression"),
+    ExperimentSpec("ABL-MODEL", "repro.experiments.ablations", "run_throughput_model",
+                   scale_factor=0.5, description="ablation: RTT^2*p throughput models"),
+    ExperimentSpec("ABL-ADSS", "repro.experiments.ablations", "run_adaptive_ssthresh",
+                   scale_factor=0.5, description="ablation: adaptive ssthresh"),
+    ExperimentSpec("ABL-TFRC", "repro.experiments.ablations", "run_loss_estimator",
+                   scale_factor=0.5, description="ablation: loss filter vs TFRC estimator"),
+    ExperimentSpec("EXP-MPATH", "repro.experiments.robustness", "run_multipath",
+                   scale_factor=0.5, description="robustness: multipath reordering"),
+    ExperimentSpec("EXP-CHURN", "repro.experiments.robustness", "run_churn",
+                   scale_factor=0.5, description="robustness: receiver churn"),
+    ExperimentSpec("ABL-BURST", "repro.experiments.robustness", "run_bursty_loss",
+                   scale_factor=0.5, description="robustness: bursty (Gilbert) loss"),
+    ExperimentSpec("EXP-CHAOS", "repro.experiments.robustness", "run_chaos",
+                   scale_factor=0.5, description="chaos: scripted faults + invariants"),
+    ExperimentSpec("EXP-ADV", "repro.experiments.adversarial", scale_factor=0.5,
+                   description="adversarial: misbehaving receivers vs guard"),
+    ExperimentSpec("ABL-DELACK", "repro.experiments.ablations", "run_delayed_acks",
+                   scale_factor=0.5, description="ablation: TCP delayed ACKs"),
+    ExperimentSpec("EXP-SWEEP", "repro.experiments.fairness_sweep", scale_factor=0.5,
+                   description="fairness over the 4.3 configuration grid"),
+    ExperimentSpec("EXP-SCALE", "repro.experiments.scalability", scale_factor=0.5,
+                   description="scalability up to 200 receivers"),
 )
 
-RUNS = [
-    ("EXP-F2", lambda s: fig2_loss_filter.run(scale=s)),
-    ("EXP-F3", lambda s: fig3_intra_fairness.run(scale=s)),
-    ("EXP-F4", lambda s: fig4_inter_fairness.run(scale=s)),
-    ("EXP-F5", lambda s: fig5_acker_selection.run(scale=s)),
-    ("EXP-F6", lambda s: fig6_heterogeneous_rtt.run(scale=s)),
-    ("EXP-F7", lambda s: fig7_uncorrelated_loss.run(scale=s)),
-    ("EXP-UNREL", lambda s: unreliable_mode.run(scale=s)),
-    ("EXP-FEC", lambda s: fec_scaling.run(scale=s / 2)),
-    ("EXP-DTZ", lambda s: drop_to_zero.run(scale=s / 2, group_sizes=(1, 10, 40))),
-    ("ABL-C", lambda s: ablations.run_switch_bias(scale=s / 2)),
-    ("ABL-RTT", lambda s: ablations.run_rtt_mode(scale=s / 2)),
-    ("ABL-DUP", lambda s: ablations.run_dupack(scale=s / 2)),
-    ("ABL-SS", lambda s: ablations.run_ssthresh(scale=s / 2)),
-    ("ABL-NE", lambda s: ablations.run_ne_suppression(scale=s / 2)),
-    ("ABL-MODEL", lambda s: ablations.run_throughput_model(scale=s / 2)),
-    ("ABL-ADSS", lambda s: ablations.run_adaptive_ssthresh(scale=s / 2)),
-    ("ABL-TFRC", lambda s: ablations.run_loss_estimator(scale=s / 2)),
-    ("EXP-MPATH", lambda s: robustness.run_multipath(scale=s / 2)),
-    ("EXP-CHURN", lambda s: robustness.run_churn(scale=s / 2)),
-    ("ABL-BURST", lambda s: robustness.run_bursty_loss(scale=s / 2)),
-    ("EXP-CHAOS", lambda s: robustness.run_chaos(scale=s / 2)),
-    ("EXP-ADV", lambda s: adversarial.run(scale=s / 2)),
-    ("ABL-DELACK", lambda s: ablations.run_delayed_acks(scale=s / 2)),
-    ("EXP-SWEEP", lambda s: fairness_sweep.run(scale=s / 2)),
-    ("EXP-SCALE", lambda s: scalability.run(scale=s / 2)),
-]
+#: Backward-compatible view: ``[(exp_id, fn(scale) -> result), ...]``.
+RUNS = [(spec.id, spec.run) for spec in REGISTRY]
 
 
-def main(scale: float = 1.0) -> None:
-    for exp_id, fn in RUNS:
-        started = time.time()
-        result = fn(scale)
-        print(f"\n##### {exp_id} (wall {time.time() - started:.1f}s)")
-        print(result.report())
+def specs_by_id(ids=None) -> list[ExperimentSpec]:
+    """Resolve a subset of experiment ids (all when ``ids`` is falsy).
+
+    Raises ``KeyError`` with the list of known ids on an unknown id.
+    """
+    if not ids:
+        return list(REGISTRY)
+    by_id = {spec.id: spec for spec in REGISTRY}
+    unknown = [i for i in ids if i not in by_id]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment id(s): {', '.join(unknown)}; "
+            f"known ids: {', '.join(by_id)}"
+        )
+    return [by_id[i] for i in ids]
+
+
+def main(scale: float = 1.0) -> int:
+    """Run the full registry sequentially; returns the failure count.
+
+    Failures are isolated by the orchestrator: a raising experiment is
+    reported at the end, with its traceback, after the rest of the
+    report has printed.
+    """
+    from ..runner import Orchestrator
+
+    failed = []
+
+    def on_outcome(outcome) -> None:
+        print(f"\n##### {outcome.id} (wall {outcome.wall_s:.1f}s)")
+        if outcome.status == "ok":
+            print(outcome.result.report())
+        else:
+            print(f"FAILED after {outcome.attempts} attempt(s): "
+                  f"{outcome.error['type']}: {outcome.error['message']}")
+            failed.append(outcome)
         sys.stdout.flush()
+
+    orch = Orchestrator(REGISTRY, scale=scale, jobs=1, inline=True,
+                        cache=None, retries=0, on_outcome=on_outcome)
+    orch.run()
+    if failed:
+        print(f"\n##### {len(failed)} experiment(s) FAILED")
+        for outcome in failed:
+            print(f"\n--- {outcome.id} ---")
+            print(outcome.error["traceback"], end="")
+    return len(failed)
 
 
 def main_cli() -> None:
     """Console-script entry point (``pgmcc-experiments [scale]``)."""
-    main(float(sys.argv[1]) if len(sys.argv) > 1 else 1.0)
+    failures = main(float(sys.argv[1]) if len(sys.argv) > 1 else 1.0)
+    if failures:
+        sys.exit(1)
 
 
 if __name__ == "__main__":

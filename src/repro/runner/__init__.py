@@ -1,0 +1,54 @@
+"""`repro.runner` — parallel experiment orchestration.
+
+The evaluation pipeline (the experiment registry in
+``repro.experiments.run_all`` plus the pytest benches) is a set of
+independent, deterministic simulations — exactly the shape that shards
+across cores.  This package provides:
+
+* :class:`Orchestrator` — runs :class:`ExperimentSpec` tasks across a
+  ``multiprocessing`` worker pool with per-task timeouts, one retry
+  with backoff, and failure isolation (a dead task never kills the
+  sweep);
+* :class:`ResultCache` — a content-addressed on-disk store keyed by
+  (experiment, kwargs, source fingerprint), shared between sweep runs
+  and the bench suite;
+* run manifests (``pgmcc.run-manifest/v1``) and perf-trajectory
+  artifacts (``pgmcc.bench-results/v1``);
+* the ``python -m repro.runner`` CLI.
+
+See ``docs/API.md`` for the task model, cache key, and schemas.
+"""
+
+from .bench import (BENCH_SCHEMA, bench_results_from_manifest,
+                    measure_sim_events_per_sec)
+from .cache import (CACHE_SCHEMA, DEFAULT_CACHE_DIR, ResultCache,
+                    callable_id, source_fingerprint, task_digest)
+from .events import RunnerEvent, event_printer
+from .manifest import (MANIFEST_SCHEMA, build_manifest, load_manifest,
+                       results_digest, save_manifest)
+from .orchestrator import Orchestrator, auto_jobs
+from .tasks import TaskOutcome, child_entry, error_info
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "MANIFEST_SCHEMA",
+    "Orchestrator",
+    "ResultCache",
+    "RunnerEvent",
+    "TaskOutcome",
+    "auto_jobs",
+    "bench_results_from_manifest",
+    "build_manifest",
+    "callable_id",
+    "child_entry",
+    "error_info",
+    "event_printer",
+    "load_manifest",
+    "measure_sim_events_per_sec",
+    "results_digest",
+    "save_manifest",
+    "source_fingerprint",
+    "task_digest",
+]

@@ -1,0 +1,82 @@
+"""Perf-trajectory artifacts (``BENCH_RESULTS.json``) from manifests.
+
+Schema ``pgmcc.bench-results/v1``::
+
+    {
+      "schema": "pgmcc.bench-results/v1",
+      "run_id": "...",            # run that produced the wall times
+      "date": "YYYY-mm-ddTHH:MM:SS+ZZZZ",
+      "host": {"python": "...", "platform": "...", "cpus": N},
+      "sim_events_per_sec": float | null,   # raw engine throughput
+      "scale": float,             # sweep scale the wall times refer to
+      "benches": [                # one entry per experiment task
+        {"id": "EXP-F2", "wall_s": 1.23, "status": "ok",
+         "cache_hit": false}
+      ],
+      "totals": {...}             # copied from the manifest
+    }
+
+Successive files of this shape are the repo's perf trajectory: compare
+``sim_events_per_sec`` and per-bench ``wall_s`` across commits (cache
+hits report the cache-load time and are flagged, not comparable).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from typing import Any
+
+BENCH_SCHEMA = "pgmcc.bench-results/v1"
+
+
+def measure_sim_events_per_sec(chain: int = 10_000, repeats: int = 3) -> float:
+    """Raw event-loop throughput, same workload as
+    ``benchmarks/bench_simulator_perf.py::test_bench_event_loop``."""
+    from ..simulator import Simulator
+
+    best = 0.0
+    for _ in range(repeats):
+        sim = Simulator()
+
+        def tick(n: int) -> None:
+            if n:
+                sim.schedule(0.001, tick, n - 1)
+
+        sim.schedule(0.0, tick, chain)
+        t0 = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - t0
+        if elapsed > 0:
+            best = max(best, sim.events_processed / elapsed)
+    return best
+
+
+def bench_results_from_manifest(manifest: dict[str, Any],
+                                events_per_sec: float | None = None
+                                ) -> dict[str, Any]:
+    """Derive the perf-trajectory artifact from a run manifest."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "run_id": manifest["run_id"],
+        "date": manifest["created"],
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "sim_events_per_sec": (round(events_per_sec, 1)
+                               if events_per_sec is not None else None),
+        "scale": manifest["scale"],
+        "benches": [
+            {
+                "id": task["id"],
+                "wall_s": task["wall_s"],
+                "status": task["status"],
+                "cache_hit": task["cache_hit"],
+            }
+            for task in manifest["tasks"]
+        ],
+        "totals": manifest["totals"],
+    }

@@ -1,0 +1,154 @@
+"""Content-addressed on-disk store for experiment results.
+
+A cache entry is keyed by a digest of *what would run*: the experiment
+callable's identity, its full keyword arguments (including ``scale``
+and ``seed``), and a fingerprint of the ``repro`` source tree.  Any
+edit to the package (outside ``repro.runner`` itself, which cannot
+change experiment outcomes) produces a new fingerprint, so stale
+results are unreachable rather than invalidated — re-runs after
+unrelated edits (docs, tests, benches) are near-instant cache hits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from ..experiments.common import ExperimentResult, canonical_json
+
+#: bump when the cache entry layout or key derivation changes
+CACHE_SCHEMA = "pgmcc.result-cache/v1"
+
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+#: subpackages that cannot affect experiment outcomes (the orchestrator
+#: machinery itself) and are excluded from the source fingerprint
+FINGERPRINT_EXCLUDE = ("runner",)
+
+_FINGERPRINTS: dict[tuple, str] = {}
+
+
+def _source_files(roots: Iterable[os.PathLike | str],
+                  exclude: tuple[str, ...]) -> list[tuple[Path, Path]]:
+    files: list[tuple[Path, Path]] = []
+    for root in sorted(Path(r).resolve() for r in set(map(str, roots))):
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root)
+            if rel.parts and rel.parts[0] in exclude:
+                continue
+            files.append((root, path))
+    return files
+
+
+def source_fingerprint(roots: Iterable[os.PathLike | str] | None = None,
+                       exclude: tuple[str, ...] = FINGERPRINT_EXCLUDE) -> str:
+    """Digest of every ``*.py`` under ``roots`` (default: the installed
+    ``repro`` package).
+
+    Content hashing is memoised behind a cheap stat signature (path,
+    size, mtime), so repeated calls in one process are ~free while an
+    edit to any source file is still picked up immediately.
+    """
+    if roots is None:
+        import repro
+
+        roots = (Path(repro.__file__).parent,)
+    files = _source_files(roots, exclude)
+    signature = tuple(
+        (str(path), (st := path.stat()).st_size, st.st_mtime_ns)
+        for _, path in files
+    )
+    cached = _FINGERPRINTS.get(signature)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    for root, path in files:
+        h.update(str(path.relative_to(root)).encode())
+        h.update(b"\0")
+        h.update(hashlib.sha256(path.read_bytes()).digest())
+        h.update(b"\0")
+    digest = h.hexdigest()
+    _FINGERPRINTS[signature] = digest
+    return digest
+
+
+def task_digest(experiment: str, kwargs: dict[str, Any], source: str) -> str:
+    """Cache key: experiment identity + full kwargs + source fingerprint."""
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "experiment": experiment,
+        "kwargs": kwargs,
+        "source": source,
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def callable_id(fn: Callable) -> str:
+    """Stable identity of an experiment callable (``module:qualname``)."""
+    return f"{fn.__module__}:{fn.__qualname__}"
+
+
+class ResultCache:
+    """Content-addressed store: ``<root>/<d[:2]>/<digest>.json``."""
+
+    def __init__(self, root: os.PathLike | str = DEFAULT_CACHE_DIR, *,
+                 source_roots: Iterable[os.PathLike | str] | None = None,
+                 exclude: tuple[str, ...] = FINGERPRINT_EXCLUDE):
+        self.root = Path(root)
+        self._source_roots = tuple(source_roots) if source_roots else None
+        self._exclude = exclude
+
+    def source_digest(self) -> str:
+        return source_fingerprint(self._source_roots, self._exclude)
+
+    def digest_for(self, experiment: str, kwargs: dict[str, Any]) -> str:
+        return task_digest(experiment, kwargs, self.source_digest())
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> ExperimentResult | None:
+        path = self._path(digest)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if data.get("schema") != CACHE_SCHEMA:
+            return None
+        return ExperimentResult.from_dict(data["result"])
+
+    def put(self, digest: str, result: ExperimentResult,
+            meta: dict[str, Any] | None = None) -> Path:
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "digest": digest,
+            "saved_at": time.time(),
+            "meta": meta or {},
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    def fetch_or_run(self, fn: Callable[..., ExperimentResult],
+                     kwargs: dict[str, Any]) -> tuple[ExperimentResult, bool]:
+        """Return ``(result, cache_hit)`` for ``fn(**kwargs)``.
+
+        The key is shared with the orchestrator's sweep tasks: a bench
+        and a ``repro.runner`` run of the same experiment at the same
+        parameters reuse each other's results.
+        """
+        digest = self.digest_for(callable_id(fn), kwargs)
+        cached = self.get(digest)
+        if cached is not None:
+            return cached, True
+        result = fn(**kwargs)
+        self.put(digest, result, meta={"experiment": callable_id(fn)})
+        return result, False

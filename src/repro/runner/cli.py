@@ -1,0 +1,133 @@
+"""``python -m repro.runner`` — the parallel, cached experiment sweep.
+
+Examples::
+
+    python -m repro.runner --list
+    python -m repro.runner -j auto                 # full report, all cores
+    python -m repro.runner -j 4 --scale 0.1        # smoke sweep
+    python -m repro.runner EXP-F3 EXP-F4 --no-cache
+    python -m repro.runner -j auto --scale 0.1 \
+        --manifest results/manifest.json --bench-json results/BENCH_RESULTS.json
+
+Exit status: 0 when every task succeeded, 1 when any task is reported
+failed, 2 on usage errors (e.g. an unknown experiment id).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from ..experiments.run_all import REGISTRY, specs_by_id
+from .bench import bench_results_from_manifest, measure_sim_events_per_sec
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .events import event_printer
+from .orchestrator import Orchestrator, auto_jobs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Parallel experiment orchestrator with "
+                    "content-addressed result caching.")
+    parser.add_argument("experiments", nargs="*", metavar="EXP-ID",
+                        help="subset of experiment ids (default: all; "
+                             "see --list)")
+    parser.add_argument("-j", "--jobs", default="1",
+                        help="worker processes, or 'auto' for one per core "
+                             "(default: 1)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="fraction of paper-faithful durations "
+                             "(default: 1.0)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always recompute; do not read or write the "
+                             "result cache")
+    parser.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                        help=f"cache location (default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--manifest", default=None, metavar="PATH",
+                        help="where to write the run manifest "
+                             "(default: results/manifest-<run_id>.json)")
+    parser.add_argument("--bench-json", default=None, metavar="PATH",
+                        help="also write a BENCH_RESULTS perf-trajectory "
+                             "artifact (includes a simulator events/sec probe)")
+    parser.add_argument("--timeout", type=float, default=1800.0,
+                        help="per-task wall-clock timeout in seconds "
+                             "(default: 1800; 0 disables)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="retries per failing task (default: 1)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the experiment registry and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress telemetry on stderr")
+    parser.add_argument("--no-report", action="store_true",
+                        help="skip the per-experiment report tables")
+    return parser
+
+
+def list_registry(file=None) -> None:
+    out = file or sys.stdout
+    width = max(len(spec.id) for spec in REGISTRY)
+    for spec in REGISTRY:
+        target = f"{spec.module.rsplit('.', 1)[-1]}.{spec.func}"
+        print(f"{spec.id:<{width}}  x{spec.scale_factor:<4g} "
+              f"{target:<28} {spec.description}", file=out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        list_registry()
+        return 0
+    try:
+        specs = specs_by_id(args.experiments)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    jobs = auto_jobs() if args.jobs == "auto" else max(1, int(args.jobs))
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    run_id = time.strftime("run-%Y%m%d-%H%M%S")
+
+    orch = Orchestrator(
+        specs, scale=args.scale, jobs=jobs, cache=cache,
+        timeout=args.timeout or None, retries=args.retries,
+        on_event=None if args.quiet else event_printer())
+    manifest = orch.run(run_id=run_id)
+
+    manifest_path = Path(args.manifest or
+                         Path("results") / f"manifest-{run_id}.json")
+    from .manifest import save_manifest
+
+    save_manifest(manifest, manifest_path)
+
+    if args.bench_json:
+        bench = bench_results_from_manifest(
+            manifest, measure_sim_events_per_sec())
+        bench_path = Path(args.bench_json)
+        bench_path.parent.mkdir(parents=True, exist_ok=True)
+        bench_path.write_text(json.dumps(bench, indent=2, sort_keys=True)
+                              + "\n")
+
+    if not args.no_report:
+        for outcome in orch.outcomes:
+            if outcome.result is not None:
+                print(f"\n##### {outcome.id} (wall {outcome.wall_s:.1f}s"
+                      f"{', cached' if outcome.cache_hit else ''})")
+                print(outcome.result.report())
+
+    totals = manifest["totals"]
+    print(f"\n{totals['ok']}/{totals['tasks']} ok, "
+          f"{totals['failed']} failed, {totals['cache_hits']} cache hits; "
+          f"wall {totals['wall_s']:.1f}s, serial {totals['serial_wall_s']:.1f}s"
+          f" (speedup {totals['speedup']}x)")
+    print(f"manifest: {manifest_path}")
+    print(f"results digest: {manifest['results_digest']}")
+    for outcome in orch.outcomes:
+        if outcome.status == "failed":
+            print(f"\n--- FAILED {outcome.id} "
+                  f"({outcome.error['type']}: {outcome.error['message']}) ---")
+            if outcome.error["traceback"]:
+                print(outcome.error["traceback"], end="")
+    return 1 if totals["failed"] else 0

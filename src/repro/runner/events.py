@@ -1,0 +1,42 @@
+"""Structured progress telemetry emitted while a sweep runs."""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Callable, TextIO
+
+
+@dataclass(frozen=True)
+class RunnerEvent:
+    """One progress event: a task changed state.
+
+    ``kind`` is one of ``queued``, ``start``, ``cache-hit``, ``done``,
+    ``retry``, ``timeout``, ``failed``.
+    """
+
+    kind: str
+    task_id: str
+    worker: int | None = None
+    attempt: int = 0
+    wall_s: float | None = None
+    message: str = ""
+
+
+def event_printer(stream: TextIO | None = None) -> Callable[[RunnerEvent], None]:
+    """Default telemetry sink: one human-readable line per event."""
+
+    def _print(event: RunnerEvent) -> None:
+        out = stream if stream is not None else sys.stderr
+        bits = [f"[runner] {event.task_id:<10} {event.kind}"]
+        if event.worker is not None:
+            bits.append(f"worker={event.worker}")
+        if event.attempt:
+            bits.append(f"attempt={event.attempt}")
+        if event.wall_s is not None:
+            bits.append(f"wall={event.wall_s:.1f}s")
+        if event.message:
+            bits.append(event.message)
+        print("  ".join(bits), file=out, flush=True)
+
+    return _print

@@ -1,0 +1,280 @@
+"""The experiment orchestrator: shard, cache, isolate, retry, report.
+
+Tasks come from the experiment registry (``run_all.REGISTRY`` or any
+list of :class:`ExperimentSpec`).  Each runs in its own worker process
+(one process per attempt, so a crash or hang never poisons a pool
+worker); results travel back over a pipe as plain dicts.  Failures are
+isolated: a raising, crashing or hung task is retried with backoff and,
+if it keeps failing, reported in the manifest while its siblings run to
+completion.
+
+``inline=True`` executes tasks in the calling process instead (no
+timeout enforcement, but the same retry/outcome bookkeeping) — this is
+what the sequential ``pgmcc-experiments`` CLI uses, and it keeps the
+orchestrator usable where ``multiprocessing`` is unwelcome.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..experiments.common import ExperimentResult, ExperimentSpec
+from .cache import ResultCache, callable_id, source_fingerprint
+from .events import RunnerEvent, event_printer
+from .manifest import build_manifest
+from .tasks import TaskOutcome, child_entry, error_info
+
+__all__ = ["Orchestrator", "auto_jobs"]
+
+
+def auto_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+@dataclass
+class _Pending:
+    index: int
+    spec: ExperimentSpec
+    kwargs: dict[str, Any]
+    digest: str | None
+    attempt: int = 1  #: attempt about to run (1-based)
+    not_before: float = 0.0  #: monotonic time gate for retry backoff
+
+
+@dataclass
+class _Running:
+    task: _Pending
+    process: Any
+    conn: Any
+    worker: int
+    started: float
+
+
+class Orchestrator:
+    """Run a list of :class:`ExperimentSpec` and produce a manifest."""
+
+    def __init__(self, specs: Iterable[ExperimentSpec], *, scale: float = 1.0,
+                 jobs: int = 1, cache: ResultCache | None = None,
+                 timeout: float | None = None, retries: int = 1,
+                 backoff: float = 0.5, inline: bool = False,
+                 on_event: Callable[[RunnerEvent], None] | None = None,
+                 on_outcome: Callable[[TaskOutcome], None] | None = None,
+                 mp_context: Any = None,
+                 extra_sys_path: Sequence[str] = ()):
+        self.specs = list(specs)
+        self.scale = scale
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.inline = inline
+        self.on_event = on_event
+        self.on_outcome = on_outcome
+        self.extra_sys_path = list(extra_sys_path)
+        self._ctx = mp_context or multiprocessing.get_context()
+        self.outcomes: list[TaskOutcome] = []
+
+    # -- telemetry ---------------------------------------------------
+
+    def _emit(self, kind: str, task_id: str, **fields: Any) -> None:
+        if self.on_event is not None:
+            self.on_event(RunnerEvent(kind=kind, task_id=task_id, **fields))
+
+    def _finish(self, slot: dict[int, TaskOutcome], index: int,
+                outcome: TaskOutcome) -> None:
+        slot[index] = outcome
+        kind = "done" if outcome.status == "ok" else "failed"
+        if outcome.cache_hit:
+            kind = "cache-hit"
+        self._emit(kind, outcome.id, worker=outcome.worker,
+                   attempt=outcome.attempts, wall_s=outcome.wall_s,
+                   message=(outcome.error or {}).get("type", ""))
+        if self.on_outcome is not None:
+            self.on_outcome(outcome)
+
+    # -- public API --------------------------------------------------
+
+    def run(self, run_id: str | None = None) -> dict[str, Any]:
+        """Execute every task; returns the run manifest (a dict)."""
+        started = time.perf_counter()
+        by_index: dict[int, TaskOutcome] = {}
+        todo: list[_Pending] = []
+
+        for index, spec in enumerate(self.specs):
+            self._emit("queued", spec.id)
+            kwargs = spec.call_kwargs(self.scale)
+            digest = None
+            if self.cache is not None:
+                digest = self.cache.digest_for(
+                    f"{spec.module}:{spec.func}", kwargs)
+                t0 = time.perf_counter()
+                cached = self.cache.get(digest)
+                if cached is not None:
+                    self._finish(by_index, index, TaskOutcome(
+                        id=spec.id, status="ok", result=cached,
+                        attempts=0, wall_s=time.perf_counter() - t0,
+                        cache_hit=True, result_digest=cached.digest()))
+                    continue
+            todo.append(_Pending(index, spec, kwargs, digest))
+
+        if self.inline:
+            self._run_inline(by_index, todo)
+        else:
+            self._run_pool(by_index, todo)
+
+        self.outcomes = [by_index[i] for i in sorted(by_index)]
+        wall = time.perf_counter() - started
+        source = (self.cache.source_digest() if self.cache is not None
+                  else source_fingerprint())
+        return build_manifest(
+            self.outcomes,
+            run_id=run_id or time.strftime("run-%Y%m%d-%H%M%S"),
+            scale=self.scale, jobs=self.jobs,
+            cache_enabled=self.cache is not None,
+            source_digest=source, wall_s=wall)
+
+    # -- execution strategies ----------------------------------------
+
+    def _store(self, task: _Pending, result: ExperimentResult) -> None:
+        if self.cache is not None and task.digest is not None:
+            self.cache.put(task.digest, result, meta={
+                "experiment": callable_id(task.spec.resolve()),
+                "id": task.spec.id,
+            })
+
+    def _run_inline(self, by_index: dict[int, TaskOutcome],
+                    todo: list[_Pending]) -> None:
+        for task in todo:
+            attempt = 0
+            while True:
+                attempt += 1
+                self._emit("start", task.spec.id, attempt=attempt)
+                t0 = time.perf_counter()
+                try:
+                    result = task.spec.resolve()(**task.kwargs)
+                except Exception as exc:  # noqa: BLE001 - isolation boundary
+                    wall = time.perf_counter() - t0
+                    if attempt <= self.retries:
+                        self._emit("retry", task.spec.id, attempt=attempt,
+                                   wall_s=wall, message=type(exc).__name__)
+                        time.sleep(self.backoff * attempt)
+                        continue
+                    self._finish(by_index, task.index, TaskOutcome(
+                        id=task.spec.id, status="failed",
+                        error=error_info(exc), attempts=attempt, wall_s=wall))
+                else:
+                    self._store(task, result)
+                    self._finish(by_index, task.index, TaskOutcome(
+                        id=task.spec.id, status="ok", result=result,
+                        attempts=attempt, wall_s=time.perf_counter() - t0,
+                        result_digest=result.digest()))
+                break
+
+    def _spawn(self, task: _Pending, worker: int) -> _Running:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=child_entry,
+            args=(child_conn, task.spec.module, task.spec.func,
+                  task.kwargs, self.extra_sys_path),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        self._emit("start", task.spec.id, worker=worker, attempt=task.attempt)
+        return _Running(task=task, process=process, conn=parent_conn,
+                        worker=worker, started=time.perf_counter())
+
+    def _run_pool(self, by_index: dict[int, TaskOutcome],
+                  todo: list[_Pending]) -> None:
+        queue: deque[_Pending] = deque(todo)
+        running: dict[int, _Running] = {}
+        free = list(range(self.jobs))
+
+        def reap(run: _Running) -> None:
+            run.process.join(timeout=5)
+            try:
+                run.conn.close()
+            except OSError:
+                pass
+            del running[run.worker]
+            free.append(run.worker)
+
+        def settle(run: _Running, kind: str, payload: Any) -> None:
+            task, wall = run.task, time.perf_counter() - run.started
+            reap(run)
+            if kind == "ok":
+                result = ExperimentResult.from_dict(payload)
+                self._store(task, result)
+                self._finish(by_index, task.index, TaskOutcome(
+                    id=task.spec.id, status="ok", result=result,
+                    attempts=task.attempt, wall_s=wall, worker=run.worker,
+                    result_digest=result.digest()))
+                return
+            if task.attempt <= self.retries:
+                self._emit("retry", task.spec.id, worker=run.worker,
+                           attempt=task.attempt, wall_s=wall,
+                           message=payload.get("type", ""))
+                task.attempt += 1
+                task.not_before = (time.perf_counter()
+                                   + self.backoff * (task.attempt - 1))
+                queue.append(task)
+                return
+            self._finish(by_index, task.index, TaskOutcome(
+                id=task.spec.id, status="failed", error=payload,
+                attempts=task.attempt, wall_s=wall, worker=run.worker))
+
+        while queue or running:
+            now = time.perf_counter()
+            # fill free workers with ready (backoff-expired) tasks
+            for _ in range(len(queue)):
+                if not free:
+                    break
+                task = queue.popleft()
+                if task.not_before > now:
+                    queue.append(task)
+                    continue
+                worker = free.pop()
+                running[worker] = self._spawn(task, worker)
+
+            progressed = False
+            for run in list(running.values()):
+                if run.conn.poll(0):
+                    try:
+                        kind, payload = run.conn.recv()
+                    except (EOFError, OSError):
+                        kind, payload = "error", {
+                            "type": "WorkerCrash",
+                            "message": "worker closed the pipe before "
+                                       "sending a result",
+                            "traceback": "",
+                        }
+                    settle(run, kind, payload)
+                    progressed = True
+                elif not run.process.is_alive():
+                    settle(run, "error", {
+                        "type": "WorkerCrash",
+                        "message": f"worker exited with code "
+                                   f"{run.process.exitcode}",
+                        "traceback": "",
+                    })
+                    progressed = True
+                elif (self.timeout is not None
+                      and time.perf_counter() - run.started > self.timeout):
+                    run.process.terminate()
+                    self._emit("timeout", run.task.spec.id, worker=run.worker,
+                               attempt=run.task.attempt,
+                               wall_s=time.perf_counter() - run.started)
+                    settle(run, "error", {
+                        "type": "TaskTimeout",
+                        "message": f"exceeded the per-task timeout "
+                                   f"of {self.timeout}s",
+                        "traceback": "",
+                    })
+                    progressed = True
+            if not progressed:
+                time.sleep(0.01)

@@ -1,0 +1,91 @@
+"""Task model: spawn-safe descriptors, outcomes, and the worker entry.
+
+A task is an :class:`~repro.experiments.common.ExperimentSpec` plus the
+sweep-wide scale.  Workers never receive callables — only the module
+and function *names* — so descriptors survive any multiprocessing
+start method (``fork`` and ``spawn`` alike).
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..experiments.common import ExperimentResult
+
+
+def error_info(exc: BaseException) -> dict[str, str]:
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+    }
+
+
+@dataclass
+class TaskOutcome:
+    """Final state of one task after retries and cache lookups."""
+
+    id: str
+    status: str  #: ``"ok"`` or ``"failed"``
+    result: ExperimentResult | None = None
+    error: dict[str, str] | None = None
+    attempts: int = 0
+    wall_s: float = 0.0
+    worker: int | None = None
+    cache_hit: bool = False
+    result_digest: str | None = None
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Manifest entry.  Deterministic content (result, digest) and
+        telemetry (wall time, worker, attempts) side by side; the
+        manifest's ``results_digest`` covers only the former."""
+        return {
+            "id": self.id,
+            "status": self.status,
+            "attempts": self.attempts,
+            "wall_s": round(self.wall_s, 3),
+            "worker": self.worker,
+            "cache_hit": self.cache_hit,
+            "result_digest": self.result_digest,
+            "error": self.error,
+            "result": self.result.to_dict() if self.result is not None else None,
+        }
+
+
+def child_entry(conn, module: str, func: str, kwargs: dict[str, Any],
+                extra_sys_path: list[str]) -> None:
+    """Worker-process entry: import, run, ship the serialized result.
+
+    Any exception (including SystemExit from the experiment) is caught
+    and reported over the pipe; a worker that dies before sending is
+    detected by the parent via the exit code.
+    """
+    try:
+        for entry in reversed(extra_sys_path):
+            if entry not in sys.path:
+                sys.path.insert(0, entry)
+        fn = getattr(importlib.import_module(module), func)
+        result = fn(**kwargs)
+        if not isinstance(result, ExperimentResult):
+            raise TypeError(
+                f"{module}.{func} returned {type(result).__name__}, "
+                "expected ExperimentResult"
+            )
+        conn.send(("ok", result.to_dict()))
+    except BaseException as exc:  # noqa: BLE001 - isolation boundary
+        try:
+            conn.send(("error", error_info(exc)))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -1,0 +1,49 @@
+"""Synthetic experiments for orchestrator tests.
+
+Module-level functions so worker processes can import them by name
+(the orchestrator receives ``module``/``func`` strings, never
+callables).  All are pure functions of their kwargs, so results are
+identical no matter which worker runs them, in which order.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.common import ExperimentResult
+
+
+def run_ok(scale: float = 1.0, seed: int = 0, label: str = "toy") -> ExperimentResult:
+    result = ExperimentResult(
+        name=f"toy-{label}",
+        params={"scale": scale, "seed": seed},
+        expectation="deterministic toy output",
+    )
+    for i in range(3):
+        result.add_row(step=i, value=seed * 100 + i * scale)
+    result.metrics["value"] = seed * 100 + scale
+    return result
+
+
+def run_fail(scale: float = 1.0, message: str = "boom") -> ExperimentResult:
+    raise ValueError(message)
+
+
+def run_flaky(scale: float = 1.0, marker: str = "") -> ExperimentResult:
+    """Fails on the first attempt (no marker file), succeeds after."""
+    path = Path(marker)
+    if not path.exists():
+        path.write_text("attempted")
+        raise RuntimeError("transient failure")
+    return run_ok(scale=scale, label="flaky")
+
+
+def run_sleep(scale: float = 1.0, seconds: float = 30.0) -> ExperimentResult:
+    time.sleep(seconds)
+    return run_ok(scale=scale, label="slept")
+
+
+def run_hard_crash(scale: float = 1.0) -> ExperimentResult:
+    os._exit(13)

@@ -1,0 +1,107 @@
+"""Content-addressed cache: key derivation, round trip, invalidation."""
+
+from pathlib import Path
+
+from repro.experiments.common import ExperimentResult
+from repro.runner import ResultCache, source_fingerprint, task_digest
+
+from . import _toy
+
+
+def make_cache(tmp_path: Path, src: Path | None = None) -> ResultCache:
+    roots = [src] if src is not None else None
+    return ResultCache(tmp_path / "cache", source_roots=roots)
+
+
+class TestDigests:
+    def test_digest_stable(self, tmp_path):
+        cache = make_cache(tmp_path)
+        a = cache.digest_for("mod:run", {"scale": 0.5, "seed": 1})
+        b = cache.digest_for("mod:run", {"seed": 1, "scale": 0.5})
+        assert a == b  # kwarg order is canonicalised away
+
+    def test_digest_changes_with_params(self, tmp_path):
+        cache = make_cache(tmp_path)
+        base = cache.digest_for("mod:run", {"scale": 0.5})
+        assert cache.digest_for("mod:run", {"scale": 0.25}) != base
+        assert cache.digest_for("mod:other", {"scale": 0.5}) != base
+
+    def test_digest_changes_with_source(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "engine.py").write_text("X = 1\n")
+        before = source_fingerprint([src])
+        (src / "engine.py").write_text("X = 2\n")
+        after = source_fingerprint([src])
+        assert before != after
+        kwargs = {"scale": 1.0}
+        assert (task_digest("mod:run", kwargs, before)
+                != task_digest("mod:run", kwargs, after))
+
+    def test_fingerprint_ignores_runner_subpackage(self, tmp_path):
+        src = tmp_path / "src"
+        (src / "runner").mkdir(parents=True)
+        (src / "core.py").write_text("A = 1\n")
+        before = source_fingerprint([src])
+        (src / "runner" / "pool.py").write_text("B = 2\n")
+        assert source_fingerprint([src]) == before
+
+    def test_tuple_and_list_kwargs_equivalent(self, tmp_path):
+        """JSON canonicalisation: a tuple-valued param hits the same
+        entry whether it arrives as tuple or list (cache round trip)."""
+        cache = make_cache(tmp_path)
+        assert (cache.digest_for("m:f", {"sizes": (1, 10)})
+                == cache.digest_for("m:f", {"sizes": [1, 10]}))
+
+
+class TestStore:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = make_cache(tmp_path)
+        result = _toy.run_ok(scale=0.5, seed=3)
+        digest = cache.digest_for("toy:run_ok", {"scale": 0.5, "seed": 3})
+        cache.put(digest, result)
+        loaded = cache.get(digest)
+        assert loaded is not None
+        assert loaded.to_dict() == result.to_dict()
+        assert loaded.digest() == result.digest()
+
+    def test_get_miss_returns_none(self, tmp_path):
+        cache = make_cache(tmp_path)
+        assert cache.get("0" * 64) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = make_cache(tmp_path)
+        digest = cache.digest_for("toy:run_ok", {})
+        path = cache.put(digest, _toy.run_ok())
+        path.write_text("{not json")
+        assert cache.get(digest) is None
+
+    def test_fetch_or_run_miss_then_hit(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "mod.py").write_text("Y = 1\n")
+        cache = make_cache(tmp_path, src)
+        result, hit = cache.fetch_or_run(_toy.run_ok, {"scale": 0.5, "seed": 7})
+        assert not hit and result.metrics["value"] == 700.5
+        again, hit = cache.fetch_or_run(_toy.run_ok, {"scale": 0.5, "seed": 7})
+        assert hit and again.to_dict() == result.to_dict()
+        # a source edit invalidates: the old entry becomes unreachable
+        (src / "mod.py").write_text("Y = 2\n")
+        _, hit = cache.fetch_or_run(_toy.run_ok, {"scale": 0.5, "seed": 7})
+        assert not hit
+
+
+class TestResultSerialization:
+    def test_to_dict_normalises_tuples(self):
+        result = ExperimentResult(name="t", params={"ws": (1, 2, 3)})
+        data = result.to_dict()
+        assert data["params"]["ws"] == [1, 2, 3]
+        clone = ExperimentResult.from_dict(data)
+        assert clone.digest() == result.digest()
+
+    def test_digest_ignores_nothing_semantic(self):
+        a = ExperimentResult(name="t", metrics={"x": 1.0, "y": 2})
+        b = ExperimentResult(name="t", metrics={"y": 2, "x": 1.0})
+        assert a.digest() == b.digest()
+        c = ExperimentResult(name="t", metrics={"x": 1.0, "y": 3})
+        assert c.digest() != a.digest()

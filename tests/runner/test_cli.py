@@ -1,0 +1,106 @@
+"""The ``python -m repro.runner`` CLI and the artifacts it writes."""
+
+import json
+
+import pytest
+
+from repro.experiments.common import ExperimentSpec
+from repro.runner.cli import main
+
+
+class TestListing:
+    def test_list_prints_registry(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("EXP-F2", "EXP-CHAOS", "EXP-ADV", "EXP-SCALE"):
+            assert exp_id in out
+        assert "Fig. 2" in out  # descriptions present
+
+    def test_unknown_id_helpful_error(self, capsys):
+        assert main(["EXP-TYPO"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment id" in err
+        assert "EXP-TYPO" in err
+        assert "EXP-F2" in err  # suggests the known ids
+
+
+class TestSweep:
+    @pytest.fixture
+    def paths(self, tmp_path):
+        return {
+            "cache": str(tmp_path / "cache"),
+            "manifest": str(tmp_path / "manifest.json"),
+            "bench": str(tmp_path / "BENCH_RESULTS.json"),
+        }
+
+    def test_smoke_sweep_writes_manifest_and_bench_json(self, paths, capsys):
+        rc = main(["EXP-F2", "-j", "2", "--scale", "0.05",
+                   "--cache-dir", paths["cache"],
+                   "--manifest", paths["manifest"],
+                   "--bench-json", paths["bench"],
+                   "--quiet", "--no-report"])
+        assert rc == 0
+        manifest = json.loads(open(paths["manifest"]).read())
+        assert manifest["schema"] == "pgmcc.run-manifest/v1"
+        assert manifest["totals"]["ok"] == 1
+        assert manifest["tasks"][0]["id"] == "EXP-F2"
+        assert manifest["tasks"][0]["result"]["name"] == "fig2-loss-filter"
+
+        bench = json.loads(open(paths["bench"]).read())
+        assert bench["schema"] == "pgmcc.bench-results/v1"
+        assert bench["run_id"] == manifest["run_id"]
+        assert bench["sim_events_per_sec"] > 0
+        assert bench["benches"][0]["id"] == "EXP-F2"
+        assert bench["benches"][0]["wall_s"] >= 0
+        assert bench["host"]["cpus"] >= 1
+
+        out = capsys.readouterr().out
+        assert "1/1 ok" in out
+        assert manifest["results_digest"] in out
+
+    def test_warm_rerun_hits_cache_and_no_cache_disables(self, paths, capsys):
+        base = ["EXP-F2", "--scale", "0.05",
+                "--cache-dir", paths["cache"],
+                "--manifest", paths["manifest"],
+                "--quiet", "--no-report"]
+        assert main(base) == 0
+        assert main(base) == 0
+        warm = json.loads(open(paths["manifest"]).read())
+        assert warm["totals"]["cache_hits"] == 1
+        assert warm["cache_enabled"] is True
+        assert main(base + ["--no-cache"]) == 0
+        cold = json.loads(open(paths["manifest"]).read())
+        assert cold["totals"]["cache_hits"] == 0
+        assert cold["cache_enabled"] is False
+        # identical metrics either way
+        assert cold["results_digest"] == warm["results_digest"]
+        capsys.readouterr()
+
+
+class TestRunAllIsolation:
+    """The sequential ``pgmcc-experiments`` CLI keeps its output format
+    but no longer aborts on the first raising experiment."""
+
+    def test_failure_reported_at_end_siblings_complete(self, monkeypatch,
+                                                       capsys):
+        from repro.experiments import run_all
+
+        toy = "tests.runner._toy"
+        monkeypatch.setattr(run_all, "REGISTRY", (
+            ExperimentSpec("TOY-OK1", toy, "run_ok", kwargs=(("seed", 1),)),
+            ExperimentSpec("TOY-BAD", toy, "run_fail",
+                           kwargs=(("message", "kaput"),)),
+            ExperimentSpec("TOY-OK2", toy, "run_ok", kwargs=(("seed", 2),)),
+        ))
+        failures = run_all.main(scale=1.0)
+        out = capsys.readouterr().out
+        assert failures == 1
+        # the legacy per-experiment header format survives
+        assert "##### TOY-OK1 (wall " in out
+        assert "##### TOY-OK2 (wall " in out
+        assert "== toy-toy ==" in out  # reports still printed
+        # the failure is summarised at the end, with its traceback
+        assert "1 experiment(s) FAILED" in out
+        assert "--- TOY-BAD ---" in out
+        assert "ValueError: kaput" in out
+        assert out.index("TOY-OK2 (wall") < out.index("experiment(s) FAILED")

@@ -1,0 +1,199 @@
+"""Orchestrator semantics: determinism across -j, isolation, retries,
+timeouts, and cache integration."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ExperimentSpec
+from repro.runner import Orchestrator, ResultCache, RunnerEvent
+
+TOY = "tests.runner._toy"
+#: repo root, so spawn-started workers can import the toy module too
+REPO_ROOT = str(Path(__file__).resolve().parents[2])
+
+
+def toy_spec(exp_id: str, func: str = "run_ok", **kwargs) -> ExperimentSpec:
+    return ExperimentSpec(exp_id, TOY, func, kwargs=tuple(kwargs.items()))
+
+
+def orchestrate(specs, **kw):
+    kw.setdefault("extra_sys_path", [REPO_ROOT])
+    kw.setdefault("backoff", 0.05)
+    return Orchestrator(specs, **kw)
+
+
+GRID = [toy_spec(f"TOY-{seed}", seed=seed) for seed in range(4)]
+
+
+class TestDeterminism:
+    def test_j1_and_j4_manifests_digest_equal(self):
+        m1 = orchestrate(GRID, jobs=1).run(run_id="a")
+        m4 = orchestrate(GRID, jobs=4).run(run_id="b")
+        assert m1["results_digest"] == m4["results_digest"]
+        assert [t["id"] for t in m1["tasks"]] == [t["id"] for t in m4["tasks"]]
+        assert m1["totals"]["ok"] == m4["totals"]["ok"] == 4
+
+    def test_inline_matches_subprocess(self):
+        inline = orchestrate(GRID, jobs=1, inline=True).run()
+        pooled = orchestrate(GRID, jobs=2).run()
+        assert inline["results_digest"] == pooled["results_digest"]
+
+    def test_scale_changes_digest(self):
+        a = orchestrate(GRID, jobs=1, scale=1.0).run()
+        b = orchestrate(GRID, jobs=1, scale=0.5).run()
+        assert a["results_digest"] != b["results_digest"]
+
+
+class TestFailureIsolation:
+    def test_raising_task_reported_siblings_complete(self):
+        specs = [toy_spec("TOY-OK1", seed=1),
+                 toy_spec("TOY-BAD", func="run_fail", message="kaput"),
+                 toy_spec("TOY-OK2", seed=2)]
+        orch = orchestrate(specs, jobs=2, retries=1)
+        manifest = orch.run()
+        by_id = {o.id: o for o in orch.outcomes}
+        assert by_id["TOY-OK1"].status == by_id["TOY-OK2"].status == "ok"
+        bad = by_id["TOY-BAD"]
+        assert bad.status == "failed"
+        assert bad.attempts == 2  # retried once, then reported
+        assert bad.error["type"] == "ValueError"
+        assert "kaput" in bad.error["message"]
+        assert "run_fail" in bad.error["traceback"]
+        assert manifest["totals"] == dict(manifest["totals"],
+                                          ok=2, failed=1)
+
+    def test_hard_crash_reported(self):
+        orch = orchestrate([toy_spec("TOY-CRASH", func="run_hard_crash")],
+                           jobs=1, retries=0)
+        orch.run()
+        outcome = orch.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.error["type"] == "WorkerCrash"
+
+    def test_timeout_kills_and_reports_while_sibling_completes(self):
+        specs = [toy_spec("TOY-HANG", func="run_sleep", seconds=30.0),
+                 toy_spec("TOY-OK", seed=5)]
+        orch = orchestrate(specs, jobs=2, timeout=0.5, retries=1)
+        manifest = orch.run()
+        by_id = {o.id: o for o in orch.outcomes}
+        assert by_id["TOY-OK"].status == "ok"
+        hang = by_id["TOY-HANG"]
+        assert hang.status == "failed"
+        assert hang.attempts == 2
+        assert hang.error["type"] == "TaskTimeout"
+        assert manifest["totals"]["failed"] == 1
+        # the sweep never waits for the full sleep
+        assert manifest["totals"]["wall_s"] < 10.0
+
+    def test_retry_recovers_transient_failure(self, tmp_path):
+        marker = tmp_path / "marker"
+        orch = orchestrate(
+            [toy_spec("TOY-FLAKY", func="run_flaky", marker=str(marker))],
+            jobs=1, retries=1)
+        orch.run()
+        outcome = orch.outcomes[0]
+        assert outcome.status == "ok"
+        assert outcome.attempts == 2
+
+    def test_inline_failure_isolation(self):
+        specs = [toy_spec("TOY-BAD", func="run_fail"), toy_spec("TOY-OK")]
+        orch = orchestrate(specs, jobs=1, inline=True, retries=0)
+        manifest = orch.run()
+        assert manifest["totals"]["failed"] == 1
+        assert manifest["totals"]["ok"] == 1
+
+
+class TestCacheIntegration:
+    def test_cold_then_warm(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = orchestrate(GRID, jobs=2, cache=cache).run()
+        assert cold["totals"]["cache_hits"] == 0
+        warm_orch = orchestrate(GRID, jobs=2, cache=cache)
+        warm = warm_orch.run()
+        assert warm["totals"]["cache_hits"] == 4
+        assert warm["results_digest"] == cold["results_digest"]
+        assert all(o.cache_hit for o in warm_orch.outcomes)
+
+    def test_no_cache_writes_nothing(self, tmp_path):
+        orchestrate(GRID, jobs=1, cache=None).run()
+        assert not (tmp_path / "cache").exists()
+
+    def test_failed_task_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = toy_spec("TOY-BAD", func="run_fail")
+        orchestrate([spec], jobs=1, cache=cache, retries=0).run()
+        rerun = orchestrate([spec], jobs=1, cache=cache, retries=0)
+        manifest = rerun.run()
+        assert manifest["totals"]["cache_hits"] == 0
+        assert rerun.outcomes[0].status == "failed"
+
+    def test_bench_and_sweep_share_entries(self, tmp_path):
+        """fetch_or_run (the bench fixture) and the orchestrator derive
+        the same key for the same callable + kwargs."""
+        from tests.runner import _toy
+
+        cache = ResultCache(tmp_path / "cache")
+        cache.fetch_or_run(_toy.run_ok, {"scale": 1.0, "seed": 9})
+        orch = orchestrate([toy_spec("TOY-9", seed=9)], jobs=1, cache=cache)
+        manifest = orch.run()
+        assert manifest["totals"]["cache_hits"] == 1
+
+
+class TestTelemetry:
+    def test_event_stream_covers_lifecycle(self):
+        events: list[RunnerEvent] = []
+        orch = orchestrate([toy_spec("TOY-E", seed=1)], jobs=1,
+                           on_event=events.append)
+        orch.run()
+        kinds = [e.kind for e in events]
+        assert kinds == ["queued", "start", "done"]
+        done = events[-1]
+        assert done.task_id == "TOY-E"
+        assert done.wall_s is not None and done.wall_s >= 0
+
+    def test_on_outcome_called_per_task(self):
+        seen = []
+        orch = orchestrate(GRID, jobs=2, on_outcome=lambda o: seen.append(o.id))
+        orch.run()
+        assert sorted(seen) == sorted(s.id for s in GRID)
+
+    def test_manifest_schema_fields(self):
+        manifest = orchestrate(GRID, jobs=1).run(run_id="rid")
+        assert manifest["schema"] == "pgmcc.run-manifest/v1"
+        assert manifest["run_id"] == "rid"
+        for task in manifest["tasks"]:
+            assert {"id", "status", "attempts", "wall_s", "worker",
+                    "cache_hit", "result_digest", "error",
+                    "result"} <= set(task)
+        totals = manifest["totals"]
+        assert totals["tasks"] == 4
+        assert totals["serial_wall_s"] >= 0
+
+
+class TestRegistryParity:
+    """The real registry, through the orchestrator, matches a direct
+    sequential call — digest-equal results at any -j."""
+
+    @pytest.fixture(scope="class")
+    def f2_spec(self):
+        from repro.experiments.run_all import specs_by_id
+
+        return specs_by_id(["EXP-F2"])
+
+    def test_pool_matches_direct_call(self, f2_spec):
+        from repro.experiments import fig2_loss_filter
+
+        orch = Orchestrator(f2_spec, scale=0.05, jobs=2)
+        orch.run()
+        via_pool = orch.outcomes[0]
+        assert via_pool.status == "ok"
+        direct = fig2_loss_filter.run(scale=0.05)
+        assert via_pool.result.to_dict() == direct.to_dict()
+        assert via_pool.result_digest == direct.digest()
+
+    def test_unknown_id_is_helpful(self):
+        from repro.experiments.run_all import specs_by_id
+
+        with pytest.raises(KeyError, match="EXP-F3"):
+            specs_by_id(["EXP-TYPO"])
