@@ -96,6 +96,7 @@ def run_scenario(
     duration: float,
     seed: int = 97,
     n_receivers: int = 6,
+    result: Optional[ExperimentResult] = None,
 ) -> dict:
     """One session + one competing TCP flow; returns the measurements.
 
@@ -149,6 +150,9 @@ def run_scenario(
         "unrecoverable": sum(rx.unrecoverable_data_loss for rx in compliant),
         "invariant_violations": len(session.invariants.violations),
     }
+    if result is not None:
+        result.attach_telemetry(session, seed=seed, attack=kind or "baseline",
+                                guard=guard_on)
     session.close()
     tcp.close()
     return out
@@ -187,8 +191,11 @@ def run(scale: float = 1.0, seed: int = 97,
         ),
     )
     for kind, guard_on in SCENARIOS:
+        # Ship one session-metrics document: the headline attack with
+        # the guard engaged (the configuration the claim is about).
+        attach_to = result if (kind == "greedy-acker" and guard_on) else None
         row = run_scenario(kind, guard_on, duration, seed=seed,
-                           n_receivers=n_receivers)
+                           n_receivers=n_receivers, result=attach_to)
         result.add_row(
             attack=row["kind"],
             guard="on" if guard_on else "off",

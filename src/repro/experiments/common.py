@@ -35,20 +35,34 @@ class ExperimentResult:
     #: free-form derived metrics used by assertions
     metrics: dict[str, Any] = field(default_factory=dict)
     expectation: str = ""
+    #: ``pgmcc.session-metrics/v1`` export from the experiment's
+    #: (representative) session, when the experiment attaches one
+    telemetry: dict[str, Any] | None = None
 
     def add_row(self, **fields: Any) -> None:
         self.rows.append(fields)
 
+    def attach_telemetry(self, session: Any, **meta: Any) -> None:
+        """Attach ``session.metrics.export()`` (no-op for sessions
+        whose telemetry is disabled — a null export carries no data
+        worth shipping through manifests)."""
+        registry = getattr(session, "metrics", None)
+        if registry is not None and getattr(registry, "enabled", False):
+            self.telemetry = registry.export(experiment=self.name, **meta)
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe form (tuples normalise to lists) used by the
         runner's cache and run manifests."""
-        return json.loads(canonical_json({
+        doc: dict[str, Any] = {
             "name": self.name,
             "params": self.params,
             "rows": self.rows,
             "metrics": self.metrics,
             "expectation": self.expectation,
-        }))
+        }
+        if self.telemetry is not None:
+            doc["telemetry"] = self.telemetry
+        return json.loads(canonical_json(doc))
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ExperimentResult":
@@ -58,6 +72,7 @@ class ExperimentResult:
             rows=list(data.get("rows", [])),
             metrics=dict(data.get("metrics", {})),
             expectation=data.get("expectation", ""),
+            telemetry=data.get("telemetry"),
         )
 
     def digest(self) -> str:

@@ -105,6 +105,7 @@ def run(
         ackers=ackers_by_phase,
         pr1_join=pr1_join, tcp_start=tcp_start, tcp_stop=tcp_stop,
     )
+    result.attach_telemetry(session, seed=seed)
     session.close()
     tcp.close()
     return result

@@ -118,6 +118,7 @@ def run(
         odata_sent=session.sender.odata_sent,
         stalls=session.sender.controller.stalls,
     )
+    result.attach_telemetry(session, seed=seed)
     session.close()
     tcp.close()
     return result

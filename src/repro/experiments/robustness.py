@@ -106,7 +106,7 @@ def run_multipath(scale: float = 1.0, seed: int = 71,
     net.router("E0").set_ecmp(mcast_group, ["Pa", "Pb"])
     net.router("E1").set_ecmp("src", ["Pa", "Pb"])
     for parallel in ("Pa", "Pb"):
-        net.router(parallel).multicast_routes[mcast_group] = {"E1"}
+        net.router(parallel).multicast_routes[mcast_group] = ("E1",)
     net.run(until=duration)
     rate = throughput_bps(session.trace, duration / 3, duration)
     result.add_row(path="single 1 Mbit/s", rate_kbps=kbps(ref_rate), stalls=0,
@@ -343,6 +343,7 @@ def run_chaos(scale: float = 1.0, seed: int = 83,
         violations=len(checker.violations),
         odata_sent=session.sender.odata_sent,
     )
+    result.attach_telemetry(session, seed=seed)
     session.close()
     return result
 

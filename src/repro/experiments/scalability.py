@@ -24,13 +24,14 @@ from ..simulator import NON_LOSSY, dumbbell
 from .common import ExperimentResult, kbps
 
 
-def run_point(n_receivers: int, with_ne: bool, duration: float, seed: int) -> dict:
+def run_point(n_receivers: int, with_ne: bool, duration: float, seed: int,
+              result: ExperimentResult | None = None) -> dict:
     net = dumbbell(1, n_receivers, NON_LOSSY, seed=seed)
-    if with_ne:
-        enable_network_elements(net)
     session = create_session(
         net, "h0", [f"r{i}" for i in range(n_receivers)], trace_name="pgm"
     )
+    if with_ne:
+        enable_network_elements(net, telemetry=session.metrics)
     net.run(until=duration)
     sender = session.sender
     loss_events = max(session.trace.count("cc-loss"), 1)
@@ -43,6 +44,9 @@ def run_point(n_receivers: int, with_ne: bool, duration: float, seed: int) -> di
         "rate": throughput_bps(session.trace, duration / 3, duration),
         "switches": session.acker_switches,
     }
+    if result is not None:
+        result.attach_telemetry(session, seed=seed, receivers=n_receivers,
+                                with_ne=with_ne)
     session.close()
     return out
 
@@ -64,9 +68,13 @@ def run(
             "unchanged across two orders of magnitude of receivers"
         ),
     )
+    largest = max(group_sizes)
     for n in group_sizes:
         for with_ne in (False, True):
-            point = run_point(n, with_ne, duration, seed)
+            # Ship one session-metrics document: the largest NE run
+            # (the configuration the scalability claim is about).
+            attach_to = result if (n == largest and with_ne) else None
+            point = run_point(n, with_ne, duration, seed, result=attach_to)
             result.add_row(
                 receivers=n,
                 network_elements=with_ne,

@@ -76,6 +76,7 @@ def run(scale: float = 1.0, seed: int = 43) -> ExperimentResult:
         naks_received=session.sender.naks_received,
         redundancy_share=app.redundancy_share,
     )
+    result.attach_telemetry(session, seed=seed)
     session.close()
     return result
 

@@ -4,8 +4,8 @@ Public surface::
 
     from repro.pgm import (
         PgmSender, PgmReceiver, PgmNetworkElement, PgmSession,
-        create_session, add_receiver, enable_network_elements,
-        BulkSource, FiniteSource,
+        SessionConfig, create_session, add_receiver,
+        enable_network_elements, BulkSource, FiniteSource,
     )
 """
 
@@ -20,7 +20,9 @@ from .rate_limiter import TokenBucket
 from .receiver import PgmReceiver
 from .sender import BulkSource, DataSource, FiniteSource, PgmSender
 from .session import (
+    SUMMARY_SCHEMA,
     PgmSession,
+    SessionConfig,
     add_receiver,
     create_session,
     enable_network_elements,
@@ -56,6 +58,8 @@ __all__ = [
     "FiniteSource",
     "PgmSender",
     "PgmSession",
+    "SessionConfig",
+    "SUMMARY_SCHEMA",
     "add_receiver",
     "create_session",
     "enable_network_elements",

@@ -228,6 +228,22 @@ class PgmNetworkElement:
         entry.branches = set()
         return True
 
+    # -- introspection -----------------------------------------------------
+
+    def metrics(self) -> dict:
+        """NE counters for telemetry pull-bindings."""
+        return {
+            "naks_seen": self.naks_seen,
+            "naks_forwarded": self.naks_forwarded,
+            "naks_suppressed": self.naks_suppressed,
+            "naks_forwarded_rx_loss": self.naks_forwarded_rx_loss,
+            "rdata_selective": self.rdata_selective,
+            "rdata_flooded": self.rdata_flooded,
+            "ncfs_sent": self.ncfs_sent,
+            "malformed_dropped": self.malformed_dropped,
+            "state_entries": len(self._nak_state),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<PgmNetworkElement {self.router.name} "

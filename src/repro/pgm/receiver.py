@@ -28,6 +28,7 @@ from ..core.loss_filter import DEFAULT_W
 from ..simulator.engine import Timer
 from ..simulator.node import Host
 from ..simulator.packet import Packet
+from ..telemetry.instruments import NULL_HISTOGRAM
 from . import constants as C
 from .misbehavior import Misbehavior, make_behavior
 from .packets import Ack, Nak, Ncf, OData, RData, Spm, decode
@@ -46,6 +47,9 @@ class _NakState:
     timer: Timer
     state: str = "BACKOFF"
     attempts: int = 0
+    #: sim time the gap was detected — anchors the repair-latency
+    #: histogram (gap-open to RDATA arrival, the NAK round-trip)
+    opened: float = 0.0
 
 
 class PgmReceiver:
@@ -95,6 +99,7 @@ class PgmReceiver:
         history_limit: int = 1024,
         storm_threshold: int = 32,
         storm_spacing: float = 0.02,
+        telemetry=None,
     ):
         self.host = host
         self.sim = host.sim
@@ -123,6 +128,10 @@ class PgmReceiver:
         self.storm_threshold = storm_threshold
         self.storm_spacing = storm_spacing
         self._last_nak_time = -1e9
+        self._repair_hist = (
+            telemetry.histogram("repair.latency_s")
+            if telemetry is not None else NULL_HISTOGRAM
+        )
         self._nak_states: dict[int, _NakState] = {}
         self._closed = False
         #: active misbehaviours, by kind (normally empty — installed by
@@ -234,8 +243,13 @@ class PgmReceiver:
                 self._next_deliver = msg.seq
         outcome = self.cc.on_data(msg.seq, self.sim.now, msg.timestamp)
 
-        # Any arrival of the sequence quenches its NAK machinery.
-        self._drop_nak_state(msg.seq)
+        # Any arrival of the sequence quenches its NAK machinery; a
+        # repair arriving for an open gap closes one NAK round-trip.
+        state = self._nak_states.pop(msg.seq, None)
+        if state is not None:
+            state.timer.cancel()
+            if is_repair:
+                self._repair_hist.observe(self.sim.now - state.opened)
         for gap in outcome.new_gaps:
             self._open_nak_state(gap)
 
@@ -276,7 +290,11 @@ class PgmReceiver:
     def _open_nak_state(self, seq: int) -> None:
         if seq in self._nak_states:
             return
-        state = _NakState(seq, Timer(self.sim, lambda s=seq: self._nak_timer_fired(s)))
+        state = _NakState(
+            seq,
+            Timer(self.sim, lambda s=seq: self._nak_timer_fired(s)),
+            opened=self.sim.now,
+        )
         self._nak_states[seq] = state
         state.timer.start(self.rng.uniform(0, self.nak_bo_ivl))
 

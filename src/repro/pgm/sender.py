@@ -17,6 +17,7 @@ from typing import Callable, Optional, Protocol
 
 from ..core.sender_cc import CcConfig, SenderController
 from ..simulator.engine import Timer
+from ..telemetry.registry import NullRegistry
 from ..simulator.node import Host
 from ..simulator.packet import Packet
 from ..simulator.trace import FlowTrace
@@ -125,6 +126,7 @@ class PgmSender:
         spm_ivl: float = C.SPM_IVL,
         payload_size: int = C.DEFAULT_PAYLOAD,
         guard: Optional[FeedbackGuard] = None,
+        telemetry=None,
     ):
         self.host = host
         self.sim = host.sim
@@ -158,6 +160,9 @@ class PgmSender:
         self._pump_timer = Timer(self.sim, self._pump)
         self._started = False
         self._closed = False
+        #: protocol-phase spans (slow start, loss recovery, stall);
+        #: a NullRegistry's tracker when telemetry is off.
+        self._spans = (telemetry if telemetry is not None else NullRegistry()).spans
         # statistics
         self.guard = guard
         self.odata_sent = 0
@@ -180,6 +185,7 @@ class PgmSender:
         if self._started:
             raise RuntimeError("sender already started")
         self._started = True
+        self._spans.begin("slow_start", self.sim.now)
         self._send_spm()
         self._pump()
 
@@ -188,6 +194,7 @@ class PgmSender:
         self._spm_timer.cancel()
         self._pump_timer.cancel()
         self.controller.close()
+        self._spans.close_all(self.sim.now)
 
     # -- transmit pump -----------------------------------------------------------
 
@@ -321,7 +328,10 @@ class PgmSender:
                 self.trace.log(self.sim.now, "acker-evict", self.next_seq)
 
     def _log_switch(self, old: Optional[str], new: Optional[str]) -> None:
-        pass  # history already kept by the election; hook for subclasses
+        # One span per acker reign: each switch closes the previous
+        # reign (no-op on the first election) and opens the next.
+        self._spans.end("acker_reign", self.sim.now)
+        self._spans.begin("acker_reign", self.sim.now)
 
     def _maybe_repair(self, seq: int) -> None:
         entry = self._tx_window.get(seq)
@@ -380,6 +390,13 @@ class PgmSender:
             )
         if digest.reacted:
             self.trace.log(self.sim.now, "cc-loss", ack.ack_seq)
+            # First loss reaction ends slow start; every reaction opens
+            # (or restarts) a recovery phase that the next clean ACK ends.
+            self._spans.end("slow_start", self.sim.now)
+            self._spans.begin("loss_recovery", self.sim.now)
+        elif digest.newly_acked:
+            self._spans.end("loss_recovery", self.sim.now)
+            self._spans.end("stall", self.sim.now)
         self._pump()
 
     # -- SPM heartbeat ------------------------------------------------------
@@ -395,6 +412,7 @@ class PgmSender:
 
     def _log_stall(self) -> None:
         self.trace.log(self.sim.now, "stall", self.next_seq)
+        self._spans.begin("stall", self.sim.now)
 
     # -- introspection -----------------------------------------------------
 

@@ -4,23 +4,98 @@ Gluing a PGM/pgmcc session onto a simulated :class:`Network` takes a
 few coordinated steps (multicast tree, agents, staggered starts);
 :func:`create_session` does them all, and :func:`add_receiver` supports
 mid-session joins (Fig. 7's 90 late receivers).
+
+Session options live in :class:`SessionConfig`; the preferred call is::
+
+    cfg = SessionConfig(cc=CcConfig(...), stop_at=30.0)
+    session = create_session(net, "src", ["r1", "r2"], config=cfg)
+
+Passing the same options as loose keyword arguments
+(``create_session(net, "src", rxs, stop_at=30.0)``) still works — the
+kwargs are folded into the config via :func:`dataclasses.replace` and
+override any ``config`` fields.  New code should construct a
+:class:`SessionConfig`; the kwargs form is kept for compatibility.
+
+Every session owns a telemetry registry (``session.metrics``,
+:mod:`repro.telemetry`): pull-bindings over the protocol counters, a
+sim-clock sampling probe and the sender's phase spans, exported as a
+``pgmcc.session-metrics/v1`` document.  ``telemetry=False`` swaps in
+the null backend (no probe events, no-op instruments).
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from ..core.loss_filter import DEFAULT_W
 from ..core.sender_cc import CcConfig
 from ..simulator.topology import Network
 from ..simulator.trace import FlowTrace
+from ..telemetry import as_registry
+from ..telemetry.registry import MetricsRegistry, NullRegistry
 from . import constants as C
 from .guard import FeedbackGuard, GuardConfig
 from .invariants import InvariantChecker
 from .network_element import PgmNetworkElement
 from .receiver import PgmReceiver
 from .sender import DataSource, PgmSender
+from .telemetry import DEFAULT_PROBE_INTERVAL, bind_session_metrics
+
+#: schema tag on :meth:`PgmSession.summary` documents
+SUMMARY_SCHEMA = "pgmcc.session-summary/v1"
+
+
+@dataclass
+class SessionConfig:
+    """Everything :func:`create_session` needs beyond the topology.
+
+    Grouping the options makes sweeps composable::
+
+        base = SessionConfig(cc=CcConfig(), stop_at=60.0)
+        for w in (2, 8, 32):
+            run(dataclasses.replace(base, filter_w=w))
+    """
+
+    #: transport session id (default: allocated by the network)
+    tsi: Optional[int] = None
+    #: multicast group address (default: derived from the tsi)
+    group: Optional[str] = None
+    #: pgmcc configuration; ``CcConfig(enabled=False)`` gives plain PGM
+    cc: Optional[CcConfig] = None
+    #: application data source (default: infinite bulk)
+    source: Optional[DataSource] = None
+    #: §3.9 unreliable mode when False (reports, no repairs)
+    reliable: bool = True
+    #: PGM rate-limiter cap (required when cc is disabled)
+    max_rate_bps: Optional[float] = None
+    payload_size: int = C.DEFAULT_PAYLOAD
+    #: sender start/stop times (absolute sim seconds)
+    start_at: float = 0.0
+    stop_at: Optional[float] = None
+    #: include corrected timestamp echoes in reports (RTT ablation)
+    echo_timestamps: bool = False
+    trace_name: Optional[str] = None
+    #: application feedback hook, called at each transmission (§3.9)
+    on_token: Optional[Callable[[float], None]] = None
+    #: loss-filter window (paper default when None)
+    filter_w: Optional[int] = None
+    #: "filter" (paper) or "tfrc" loss measurement
+    estimator: str = "filter"
+    #: a :class:`~repro.simulator.faults.FaultPlan` to compile in
+    faults: Optional[Any] = None
+    #: attach a runtime :class:`InvariantChecker`
+    check_invariants: bool = False
+    #: raise on violation (False: collect only)
+    strict_invariants: bool = True
+    #: sender-side feedback guard: True, GuardConfig or FeedbackGuard
+    guard: Any = None
+    #: telemetry backend: True (own registry), False (null backend) or
+    #: an existing registry to share
+    telemetry: Any = True
+    #: sim-clock sampling period for the session probe
+    telemetry_interval: float = DEFAULT_PROBE_INTERVAL
 
 
 @dataclass
@@ -34,10 +109,18 @@ class PgmSession:
     tsi: int
     #: every host (by name) currently subscribed
     members: list[str] = field(default_factory=list)
-    #: fault injector compiled from ``create_session(faults=...)``
+    #: fault injector compiled from ``SessionConfig.faults``
     fault_injector: Optional[object] = None
-    #: runtime invariant checker from ``create_session(check_invariants=...)``
+    #: runtime invariant checker from ``SessionConfig.check_invariants``
     invariants: Optional[InvariantChecker] = None
+    #: the session's telemetry registry (null backend when disabled)
+    metrics: "MetricsRegistry | NullRegistry" = field(
+        default_factory=NullRegistry, repr=False
+    )
+    #: rx_id -> receiver index backing :meth:`receiver`
+    _rx_index: dict[str, PgmReceiver] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def trace(self) -> FlowTrace:
@@ -52,10 +135,21 @@ class PgmSession:
         return self.sender.acker_switches
 
     def receiver(self, rx_id: str) -> PgmReceiver:
-        for rx in self.receivers:
-            if rx.rx_id == rx_id:
-                return rx
-        raise KeyError(rx_id)
+        """Look up a receiver by its report identity (O(1))."""
+        # The index tracks self.receivers; code that appends to the
+        # list directly (rather than via add_receiver) is still served
+        # by rebuilding on the size mismatch.
+        if len(self._rx_index) != len(self.receivers):
+            self._rx_index = {rx.rx_id: rx for rx in self.receivers}
+        try:
+            return self._rx_index[rx_id]
+        except KeyError:
+            raise KeyError(rx_id) from None
+
+    def _register_receiver(self, rx: PgmReceiver) -> PgmReceiver:
+        self.receivers.append(rx)
+        self._rx_index[rx.rx_id] = rx
+        return rx
 
     def throughput_bps(self, t0: float, t1: float) -> float:
         """Sender goodput (original data payload bits/s) over [t0, t1)."""
@@ -70,11 +164,24 @@ class PgmSession:
             rx.close()
         if self.invariants is not None:
             self.invariants.detach()
+        self.metrics.close()
 
     def summary(self) -> dict:
-        """One-call session statistics (for reports and examples)."""
+        """One-call session statistics: ``pgmcc.session-summary/v1``.
+
+        The scalar keys read the same live counters the session's
+        metric bindings sample (see :mod:`repro.pgm.telemetry`), so a
+        summary agrees with a simultaneous ``metrics.export()``
+        regardless of whether telemetry is enabled; ``phases`` and
+        ``repair_latency`` come from the registry's push instruments
+        and are empty under the null backend.  The key set is stable —
+        documented in docs/API.md — and only grows in a /v1 schema.
+        """
         controller = self.sender.controller
+        spans = self.metrics.spans.snapshot()
+        repair = self.metrics.snapshot()["histograms"].get("repair.latency_s")
         return {
+            "schema": SUMMARY_SCHEMA,
             "tsi": self.tsi,
             "group": self.group,
             "odata_sent": self.sender.odata_sent,
@@ -93,6 +200,8 @@ class PgmSession:
                 rx.unrecoverable_data_loss for rx in self.receivers
             ),
             "guard": self.guard.summary() if self.guard is not None else None,
+            "phases": spans["stats"],
+            "repair_latency": repair,
             "receivers": {
                 rx.rx_id: {
                     "odata_received": rx.odata_received,
@@ -120,26 +229,15 @@ def create_session(
     net: Network,
     sender_host: str,
     receiver_hosts: list[str],
-    tsi: Optional[int] = None,
-    group: Optional[str] = None,
-    cc: Optional[CcConfig] = None,
-    source: Optional[DataSource] = None,
-    reliable: bool = True,
-    max_rate_bps: Optional[float] = None,
-    payload_size: int = C.DEFAULT_PAYLOAD,
-    start_at: float = 0.0,
-    stop_at: Optional[float] = None,
-    echo_timestamps: bool = False,
-    trace_name: Optional[str] = None,
-    on_token=None,
-    filter_w: Optional[int] = None,
-    estimator: str = "filter",
-    faults=None,
-    check_invariants: bool = False,
-    strict_invariants: bool = True,
-    guard=None,
+    config: Optional[SessionConfig] = None,
+    **kwargs: Any,
 ) -> PgmSession:
     """Create and schedule a full PGM/pgmcc session on ``net``.
+
+    Options come in a :class:`SessionConfig`; individual keyword
+    arguments (the pre-config calling convention) are still accepted
+    and override the corresponding config fields.  An unknown keyword
+    raises ``TypeError`` exactly as the old signature did.
 
     ``faults`` takes a :class:`~repro.simulator.faults.FaultPlan` and
     compiles it onto the network with this session resolving the
@@ -151,53 +249,62 @@ def create_session(
     :class:`~repro.pgm.guard.FeedbackGuard` — pass ``True`` for
     defaults or a :class:`~repro.pgm.guard.GuardConfig`; the loss-range
     rule is auto-configured from ``filter_w``/``estimator``.  All
-    handles live on the returned session.
+    handles live on the returned session, including the telemetry
+    registry (``session.metrics``).
     """
-    if tsi is None:
-        tsi = net.next_tsi()
-    if group is None:
-        group = f"mc:pgm{tsi}"
+    cfg = config if config is not None else SessionConfig()
+    if kwargs:
+        try:
+            cfg = dataclasses.replace(cfg, **kwargs)
+        except TypeError as exc:
+            raise TypeError(f"create_session: {exc}") from None
+
+    tsi = cfg.tsi if cfg.tsi is not None else net.next_tsi()
+    group = cfg.group if cfg.group is not None else f"mc:pgm{tsi}"
     net.set_group(group, sender_host, receiver_hosts)
 
     guard_obj: Optional[FeedbackGuard] = None
-    if guard:
-        if isinstance(guard, FeedbackGuard):
-            guard_obj = guard
+    if cfg.guard:
+        if isinstance(cfg.guard, FeedbackGuard):
+            guard_obj = cfg.guard
         else:
-            if isinstance(guard, GuardConfig):
-                config = guard
+            if isinstance(cfg.guard, GuardConfig):
+                guard_cfg = cfg.guard
             else:  # guard=True: defaults matched to the session's estimator
-                config = GuardConfig(
-                    filter_w=filter_w if filter_w is not None else DEFAULT_W,
-                    check_loss_range=(estimator == "filter"),
+                guard_cfg = GuardConfig(
+                    filter_w=cfg.filter_w if cfg.filter_w is not None else DEFAULT_W,
+                    check_loss_range=(cfg.estimator == "filter"),
                 )
-            guard_obj = FeedbackGuard(net.sim, config)
+            guard_obj = FeedbackGuard(net.sim, guard_cfg)
 
-    trace = FlowTrace(trace_name or f"pgm{tsi}")
+    registry = as_registry(cfg.telemetry)
+    trace = FlowTrace(cfg.trace_name or f"pgm{tsi}")
     sender = PgmSender(
         net.host(sender_host),
         group,
         tsi,
-        cc=cc,
-        source=source,
-        max_rate_bps=max_rate_bps,
-        reliable=reliable,
+        cc=cfg.cc,
+        source=cfg.source,
+        max_rate_bps=cfg.max_rate_bps,
+        reliable=cfg.reliable,
         trace=trace,
-        on_token=on_token,
-        payload_size=payload_size,
+        on_token=cfg.on_token,
+        payload_size=cfg.payload_size,
         guard=guard_obj,
+        telemetry=registry,
     )
-    session = PgmSession(net, sender, [], group, tsi, members=list(receiver_hosts))
+    session = PgmSession(net, sender, [], group, tsi,
+                         members=list(receiver_hosts), metrics=registry)
     for host_name in receiver_hosts:
-        session.receivers.append(
-            _make_receiver(net, session, host_name, reliable, echo_timestamps,
-                           filter_w, estimator)
+        session._register_receiver(
+            _make_receiver(net, session, host_name, cfg.reliable,
+                           cfg.echo_timestamps, cfg.filter_w, cfg.estimator)
         )
-    if check_invariants:
+    if cfg.check_invariants:
         session.invariants = InvariantChecker(
-            session, strict=strict_invariants
+            session, strict=cfg.strict_invariants
         ).attach()
-    if faults is not None:
+    if cfg.faults is not None:
 
         def _receiver_lookup(name: str):
             for rx in session.receivers:
@@ -206,17 +313,18 @@ def create_session(
             return None
 
         session.fault_injector = net.install_faults(
-            faults,
+            cfg.faults,
             acker_lookup=lambda: sender.current_acker,
             receiver_lookup=_receiver_lookup,
         )
-    if start_at <= 0:
+    bind_session_metrics(session, registry, cfg.telemetry_interval)
+    if cfg.start_at <= 0:
         # Schedule rather than call so construction order never matters.
         net.sim.schedule(0.0, sender.start)
     else:
-        net.sim.schedule_at(start_at, sender.start)
-    if stop_at is not None:
-        net.sim.schedule_at(stop_at, sender.close)
+        net.sim.schedule_at(cfg.start_at, sender.start)
+    if cfg.stop_at is not None:
+        net.sim.schedule_at(cfg.stop_at, sender.close)
     return session
 
 
@@ -243,6 +351,7 @@ def _make_receiver(
         rng=net.rng.stream(f"rx:{session.tsi}:{host_name}"),
         estimator=estimator,
         recover_history=recover_history,
+        telemetry=session.metrics,
         **kwargs,
     )
 
@@ -267,7 +376,7 @@ def add_receiver(
     def _join() -> None:
         session.members.append(host_name)
         net.set_group(session.group, session.sender.host.name, session.members)
-        session.receivers.append(
+        session._register_receiver(
             _make_receiver(net, session, host_name, reliable, echo_timestamps,
                            None, estimator, recover_history)
         )
@@ -284,8 +393,13 @@ def enable_network_elements(
     suppress: bool = True,
     rx_loss_aware: bool = False,
     selective_repair: bool = True,
+    telemetry: "MetricsRegistry | NullRegistry | None" = None,
 ) -> dict[str, PgmNetworkElement]:
-    """Install PGM network elements on the given (default: all) routers."""
+    """Install PGM network elements on the given (default: all) routers.
+
+    Pass a session's registry as ``telemetry`` to bind each element's
+    counters under ``ne.<router>.*``.
+    """
     from ..simulator.node import Router
 
     if router_names is None:
@@ -300,4 +414,10 @@ def enable_network_elements(
             rx_loss_aware=rx_loss_aware,
             selective_repair=selective_repair,
         )
+    if telemetry is not None:
+        for name, element in elements.items():
+            for key in ("naks_seen", "naks_forwarded", "naks_suppressed",
+                        "rdata_selective", "rdata_flooded", "ncfs_sent"):
+                telemetry.bind(f"ne.{name}.{key}",
+                               (lambda e=element, k=key: e.metrics()[k]))
     return elements

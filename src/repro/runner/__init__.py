@@ -20,7 +20,8 @@ See ``docs/API.md`` for the task model, cache key, and schemas.
 """
 
 from .bench import (BENCH_SCHEMA, bench_results_from_manifest,
-                    measure_sim_events_per_sec)
+                    measure_sim_events_per_sec,
+                    session_metrics_from_manifest)
 from .cache import (CACHE_SCHEMA, DEFAULT_CACHE_DIR, ResultCache,
                     callable_id, source_fingerprint, task_digest)
 from .events import RunnerEvent, event_printer
@@ -49,6 +50,7 @@ __all__ = [
     "measure_sim_events_per_sec",
     "results_digest",
     "save_manifest",
+    "session_metrics_from_manifest",
     "source_fingerprint",
     "task_digest",
 ]

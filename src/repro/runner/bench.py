@@ -13,6 +13,11 @@ Schema ``pgmcc.bench-results/v1``::
         {"id": "EXP-F2", "wall_s": 1.23, "status": "ok",
          "cache_hit": false}
       ],
+      "session_metrics": [        # protocol health, one entry per task
+        {"id": "EXP-F5", "schema": "pgmcc.session-metrics/v1",
+         "meta": {...}, "counters": {...}, "gauges": {...},
+         "spans": {...}}          # that shipped a session-metrics doc
+      ],
       "totals": {...}             # copied from the manifest
     }
 
@@ -53,6 +58,20 @@ def measure_sim_events_per_sec(chain: int = 10_000, repeats: int = 3) -> float:
     return best
 
 
+def session_metrics_from_manifest(manifest: dict[str, Any]
+                                  ) -> list[dict[str, Any]]:
+    """Pull every ``pgmcc.session-metrics/v1`` document out of a
+    manifest's embedded results, in task order.  Each entry carries the
+    experiment id alongside the document."""
+    docs = []
+    for task in manifest.get("tasks", ()):
+        result = task.get("result") or {}
+        telemetry = result.get("telemetry")
+        if telemetry is not None:
+            docs.append({"id": task["id"], **telemetry})
+    return docs
+
+
 def bench_results_from_manifest(manifest: dict[str, Any],
                                 events_per_sec: float | None = None
                                 ) -> dict[str, Any]:
@@ -77,6 +96,15 @@ def bench_results_from_manifest(manifest: dict[str, Any],
                 "cache_hit": task["cache_hit"],
             }
             for task in manifest["tasks"]
+        ],
+        # Protocol health next to perf: counters/gauges/spans of every
+        # shipped session-metrics document (series/histogram reservoirs
+        # stay in the manifest — this artifact is the compact view).
+        "session_metrics": [
+            {k: doc[k] for k in
+             ("id", "schema", "enabled", "meta", "counters", "gauges", "spans")
+             if k in doc}
+            for doc in session_metrics_from_manifest(manifest)
         ],
         "totals": manifest["totals"],
     }

@@ -22,7 +22,11 @@ import time
 from pathlib import Path
 
 from ..experiments.run_all import REGISTRY, specs_by_id
-from .bench import bench_results_from_manifest, measure_sim_events_per_sec
+from .bench import (
+    bench_results_from_manifest,
+    measure_sim_events_per_sec,
+    session_metrics_from_manifest,
+)
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .events import event_printer
 from .orchestrator import Orchestrator, auto_jobs
@@ -53,6 +57,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--bench-json", default=None, metavar="PATH",
                         help="also write a BENCH_RESULTS perf-trajectory "
                              "artifact (includes a simulator events/sec probe)")
+    parser.add_argument("--session-metrics", default=None, metavar="PATH",
+                        help="also write the sweep's pgmcc.session-metrics/v1 "
+                             "documents (one JSON array, task order)")
     parser.add_argument("--timeout", type=float, default=1800.0,
                         help="per-task wall-clock timeout in seconds "
                              "(default: 1800; 0 disables)")
@@ -109,6 +116,16 @@ def main(argv: list[str] | None = None) -> int:
         bench_path.parent.mkdir(parents=True, exist_ok=True)
         bench_path.write_text(json.dumps(bench, indent=2, sort_keys=True)
                               + "\n")
+
+    if args.session_metrics:
+        docs = session_metrics_from_manifest(manifest)
+        metrics_path = Path(args.session_metrics)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(json.dumps(docs, indent=2, sort_keys=True)
+                                + "\n")
+        if not docs:
+            print("warning: no session-metrics documents in this sweep "
+                  f"(wrote empty array to {metrics_path})", file=sys.stderr)
 
     if not args.no_report:
         for outcome in orch.outcomes:

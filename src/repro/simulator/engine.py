@@ -122,6 +122,15 @@ class Simulator:
         """Number of not-yet-cancelled events in the queue."""
         return sum(1 for _, _, ev in self._heap if not ev.cancelled)
 
+    def metrics(self) -> dict:
+        """Engine state for telemetry pull-bindings (never touches the
+        hot loop: the registry reads this on demand)."""
+        return {
+            "now": self.now,
+            "events_processed": self.events_processed,
+            "heap_len": len(self._heap),
+        }
+
 
 class Timer:
     """A restartable one-shot timer bound to a simulator.

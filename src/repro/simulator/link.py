@@ -231,6 +231,25 @@ class Link:
 
     # -- introspection -----------------------------------------------------
 
+    def metrics(self) -> dict:
+        """Link counters for telemetry pull-bindings (includes the
+        queue's own counters under ``queue.*``-style keys)."""
+        out = {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "bytes_delivered": self.bytes_delivered,
+            "random_drops": self.random_drops,
+            "queue_drops": self.queue.drops,
+            "fault_drops": self.fault_drops,
+            "corrupt_drops": self.corrupt_drops,
+            "corrupt_mangled": self.corrupt_mangled,
+            "fault_duplicates": self.fault_duplicates,
+            "in_transit": self.in_transit,
+        }
+        for key, value in self.queue.metrics().items():
+            out[f"queue_{key}"] = value
+        return out
+
     @property
     def queue_drops(self) -> int:
         return self.queue.drops

@@ -50,7 +50,7 @@ class Node:
         #: unicast forwarding: destination host -> next-hop neighbour
         self.unicast_routes: dict[Address, str] = {}
         #: multicast forwarding: group -> set of downstream neighbours
-        self.multicast_routes: dict[Address, set[str]] = {}
+        self.multicast_routes: dict[Address, tuple[str, ...]] = {}
         self.packets_forwarded = 0
         self.packets_dropped_no_route = 0
         # Fault-injection state: ``faulted`` is the single hot-path

@@ -75,6 +75,17 @@ class DropTailQueue:
         self._queue.clear()
         self.bytes_queued = 0
 
+    def metrics(self) -> dict:
+        """Queue counters for telemetry pull-bindings."""
+        return {
+            "depth": len(self._queue),
+            "bytes_queued": self.bytes_queued,
+            "enqueues": self.enqueues,
+            "drops": self.drops,
+            "peak_slots": self.peak_slots,
+            "peak_bytes": self.peak_bytes,
+        }
+
 
 class RedQueue(DropTailQueue):
     """Random Early Detection on top of the FIFO structure.

@@ -76,5 +76,8 @@ def install_multicast_tree(
     """Compute and install the tree; returns the downstream map."""
     tree = compute_multicast_tree(graph, source, members)
     for name, node in nodes.items():
-        node.multicast_routes[group] = set(tree.get(name, ()))
+        # sorted tuple, not a set: replication order must not depend on
+        # string hashing (PYTHONHASHSEED), or equal-timestamp delivery
+        # interleaving across receivers varies run to run
+        node.multicast_routes[group] = tuple(sorted(tree.get(name, ())))
     return tree

@@ -1,0 +1,79 @@
+"""Unified telemetry: metric registries, instruments, spans, probes.
+
+The layer every figure in the paper is read off: protocol components
+expose their state through per-session :class:`MetricsRegistry`
+objects (``PgmSession.metrics``), exported as versioned
+``pgmcc.session-metrics/v1`` documents that flow through experiment
+results, runner manifests and ``results/BENCH_RESULTS.json``.
+
+Public surface::
+
+    from repro.telemetry import (
+        MetricsRegistry, NullRegistry, METRICS_SCHEMA,
+        Counter, Gauge, Histogram, TimeSeries,
+        SpanTracker, TimeSeriesProbe, make_probe, as_registry,
+    )
+
+Design rules:
+
+* hot-path counters stay plain attributes; registries *pull* them via
+  ``bind(name, fn)`` at snapshot time — instrumentation adds nothing
+  to the paths that increment them;
+* push instruments (histograms, spans, series) are reserved for
+  low-rate events and are no-ops under :class:`NullRegistry`;
+* every recorded value derives from simulated state, never wall time,
+  so exports are deterministic and digest-stable across ``-j``;
+* bounded reservoirs (stride decimation) cap memory for arbitrarily
+  long runs without sacrificing determinism.
+
+``python -m repro.telemetry.overhead`` measures the events/sec probe
+with telemetry off vs. on (the CI smoke gates disabled-mode cost).
+"""
+
+from .instruments import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_TIMESERIES,
+    Counter,
+    Gauge,
+    Histogram,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+    NullTimeSeries,
+    TimeSeries,
+)
+from .probes import NullProbe, TimeSeriesProbe, make_probe
+from .registry import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    NullRegistry,
+    NullSpanTracker,
+    SpanTracker,
+    as_registry,
+)
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SpanTracker",
+    "NullSpanTracker",
+    "as_registry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeSeries",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullTimeSeries",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_TIMESERIES",
+    "TimeSeriesProbe",
+    "NullProbe",
+    "make_probe",
+]

@@ -1,0 +1,91 @@
+"""Sim-clock sampling probes.
+
+A :class:`TimeSeriesProbe` samples a set of zero-argument callables
+into :class:`~repro.telemetry.instruments.TimeSeries` reservoirs at a
+fixed *simulated* interval.  Sampling events ride the normal event
+heap: they read state, never mutate it, and draw from no RNG stream,
+so attaching a probe cannot change protocol behaviour — only
+``events_processed`` grows.  ``stop()`` cancels the timer, which
+sessions call from ``close()`` so a finished session leaves the heap
+drainable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..simulator.engine import Simulator, Timer
+
+__all__ = ["TimeSeriesProbe", "NullProbe"]
+
+
+class TimeSeriesProbe:
+    """Periodic sampler bound to a registry's time series."""
+
+    def __init__(self, sim: Simulator, registry: Any, interval: float,
+                 max_points: int = 512):
+        if interval <= 0:
+            raise ValueError("probe interval must be positive")
+        self.sim = sim
+        self.registry = registry
+        self.interval = interval
+        self.max_points = max_points
+        self.samples_taken = 0
+        self._sources: list[tuple[Any, Callable[[], float]]] = []
+        self._timer = Timer(sim, self._fire)
+        registry.add_probe(self)
+
+    def sample(self, name: str, fn: Callable[[], float]) -> "TimeSeriesProbe":
+        """Add a series: ``fn()`` is recorded under ``name`` each tick."""
+        series = self.registry.timeseries(name, self.max_points)
+        self._sources.append((series, fn))
+        return self
+
+    def start(self, delay: float | None = None) -> "TimeSeriesProbe":
+        """Arm the first tick ``delay`` (default: one interval) from now."""
+        self._timer.restart(self.interval if delay is None else delay)
+        return self
+
+    def stop(self) -> None:
+        self._timer.cancel()
+
+    @property
+    def running(self) -> bool:
+        return self._timer.armed
+
+    def _fire(self) -> None:
+        now = self.sim.now
+        for series, fn in self._sources:
+            series.append(now, fn())
+        self.samples_taken += 1
+        self._timer.restart(self.interval)
+
+
+class NullProbe:
+    """Disabled probe: accepts the same calls, schedules nothing."""
+
+    __slots__ = ()
+    samples_taken = 0
+    running = False
+
+    def sample(self, name: str, fn: Callable[[], float]) -> "NullProbe":
+        return self
+
+    def start(self, delay: float | None = None) -> "NullProbe":
+        return self
+
+    def stop(self) -> None:
+        pass
+
+
+NULL_PROBE = NullProbe()
+
+
+def make_probe(sim: Simulator, registry: Any, interval: float,
+               max_points: int = 512):
+    """Probe factory honouring disabled registries: a
+    :class:`~repro.telemetry.registry.NullRegistry` gets a
+    :class:`NullProbe` (no timer, no heap events)."""
+    if not getattr(registry, "enabled", False):
+        return NULL_PROBE
+    return TimeSeriesProbe(sim, registry, interval, max_points)

@@ -1,0 +1,302 @@
+"""The metrics registry and its disabled twin.
+
+A :class:`MetricsRegistry` is the single container every protocol
+component writes into (or is *read from* — see below) for one session,
+flow, or network.  Instruments come in two flavours:
+
+* **push** instruments (``counter`` / ``gauge`` / ``histogram`` /
+  ``timeseries``): get-or-create by name, mutate from the hot path.
+  Used only for low-rate events (repair completions, span edges).
+* **pull** bindings (``bind(name, fn)``): a zero-argument callable
+  sampled at :meth:`snapshot` time.  This is how the pre-existing
+  plain-attribute counters (``sender.odata_sent`` and friends) are
+  re-wired without adding a single instruction to the paths that
+  increment them — the registry reads the attribute when asked.
+
+Sim-clock sampling probes (:class:`~repro.telemetry.probes
+.TimeSeriesProbe`) register themselves via :meth:`add_probe` so
+:meth:`close` can cancel their timers (sessions must leave the event
+heap drainable on close).
+
+:class:`NullRegistry` is the disabled backend: same surface, shared
+no-op instruments, no bindings, no probes, no sampling events.  A
+session built with telemetry disabled therefore runs byte-identically
+to one built before this layer existed.
+
+Export schema ``pgmcc.session-metrics/v1`` (:meth:`MetricsRegistry
+.export`)::
+
+    {
+      "schema": "pgmcc.session-metrics/v1",
+      "enabled": true,
+      "meta": {...},                    # tsi, group, caller-supplied
+      "counters": {name: int},          # push + pull-bound counters
+      "gauges": {name: number},
+      "histograms": {name: {count, total, min, max, mean, p50, p90, p99}},
+      "series": {name: {count, stride, points: [[t, v], ...]}},
+      "spans": {"stats": {name: {count, total_s, mean_s, max_s}},
+                 "open": [name, ...]}
+    }
+
+Every value derives from simulated state (sim clock, protocol
+counters), never from wall time, so the document is deterministic for
+a fixed seed and digest-stable across ``-j1`` / ``-jN`` runner sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .instruments import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_TIMESERIES,
+    Counter,
+    Gauge,
+    Histogram,
+    TimeSeries,
+)
+
+METRICS_SCHEMA = "pgmcc.session-metrics/v1"
+
+__all__ = ["METRICS_SCHEMA", "MetricsRegistry", "NullRegistry",
+           "SpanTracker", "NullSpanTracker", "as_registry"]
+
+
+class SpanTracker:
+    """Named interval timing on an external (simulated) clock.
+
+    ``begin``/``end`` take the current time explicitly so the tracker
+    works with any clock source and stays trivially deterministic.
+    ``begin`` on an open span restarts it; ``end`` without a matching
+    ``begin`` is a no-op — protocol phase edges (slow start ending,
+    recovery re-entered) are naturally idempotent that way.
+    """
+
+    __slots__ = ("_open", "_stats")
+
+    def __init__(self) -> None:
+        self._open: dict[str, float] = {}
+        #: name -> [count, total, max]
+        self._stats: dict[str, list[float]] = {}
+
+    def begin(self, name: str, now: float) -> None:
+        self._open[name] = now
+
+    def end(self, name: str, now: float) -> None:
+        started = self._open.pop(name, None)
+        if started is None:
+            return
+        elapsed = now - started
+        stats = self._stats.get(name)
+        if stats is None:
+            self._stats[name] = [1, elapsed, elapsed]
+        else:
+            stats[0] += 1
+            stats[1] += elapsed
+            if elapsed > stats[2]:
+                stats[2] = elapsed
+
+    def close_all(self, now: float) -> None:
+        """End every open span (session teardown)."""
+        for name in list(self._open):
+            self.end(name, now)
+
+    @property
+    def open(self) -> list[str]:
+        return sorted(self._open)
+
+    def stats(self, name: str) -> Optional[dict[str, float]]:
+        stats = self._stats.get(name)
+        if stats is None:
+            return None
+        count, total, peak = stats
+        return {"count": int(count), "total_s": total,
+                "mean_s": total / count, "max_s": peak}
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "stats": {name: self.stats(name) for name in sorted(self._stats)},
+            "open": self.open,
+        }
+
+
+class NullSpanTracker:
+    __slots__ = ()
+    open: list[str] = []
+
+    def begin(self, name: str, now: float) -> None:
+        pass
+
+    def end(self, name: str, now: float) -> None:
+        pass
+
+    def close_all(self, now: float) -> None:
+        pass
+
+    def stats(self, name: str) -> None:
+        return None
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"stats": {}, "open": []}
+
+
+class MetricsRegistry:
+    """Per-session metric container (see module docstring)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._series: dict[str, TimeSeries] = {}
+        #: pull bindings: name -> (kind, fn)
+        self._bindings: dict[str, tuple[str, Callable[[], float]]] = {}
+        self._probes: list[Any] = []
+        self.spans = SpanTracker()
+        #: identification fields copied into the export document
+        self.meta: dict[str, Any] = {}
+
+    # -- push instruments (get-or-create) ------------------------------
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str, max_samples: int = 512) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name, max_samples)
+        return inst
+
+    def timeseries(self, name: str, max_points: int = 512) -> TimeSeries:
+        inst = self._series.get(name)
+        if inst is None:
+            inst = self._series[name] = TimeSeries(name, max_points)
+        return inst
+
+    # -- pull bindings --------------------------------------------------
+
+    def bind(self, name: str, fn: Callable[[], float],
+             kind: str = "counter") -> None:
+        """Register ``fn`` to be sampled into ``name`` at snapshot time.
+
+        ``kind`` is ``"counter"`` (monotone count) or ``"gauge"``
+        (point-in-time value) — it only decides which export section
+        the value lands in.
+        """
+        if kind not in ("counter", "gauge"):
+            raise ValueError(f"unknown binding kind {kind!r}")
+        self._bindings[name] = (kind, fn)
+
+    # -- probes ---------------------------------------------------------
+
+    def add_probe(self, probe: Any) -> Any:
+        """Track a sampling probe so :meth:`close` stops it."""
+        self._probes.append(probe)
+        return probe
+
+    def close(self) -> None:
+        """Stop every sampling probe (cancels their timers)."""
+        for probe in self._probes:
+            probe.stop()
+
+    # -- export ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        counters = {name: c.value for name, c in self._counters.items()}
+        gauges = {name: g.value for name, g in self._gauges.items()}
+        for name, (kind, fn) in self._bindings.items():
+            (counters if kind == "counter" else gauges)[name] = fn()
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": {name: h.snapshot()
+                           for name, h in sorted(self._histograms.items())},
+            "series": {name: s.snapshot()
+                       for name, s in sorted(self._series.items())},
+            "spans": self.spans.snapshot(),
+        }
+
+    def export(self, **meta: Any) -> dict[str, Any]:
+        """The versioned ``pgmcc.session-metrics/v1`` document."""
+        doc: dict[str, Any] = {
+            "schema": METRICS_SCHEMA,
+            "enabled": True,
+            "meta": {**self.meta, **meta},
+        }
+        doc.update(self.snapshot())
+        return doc
+
+
+class NullRegistry:
+    """Disabled telemetry: the same surface, none of the work."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.spans = NullSpanTracker()
+        self.meta: dict[str, Any] = {}
+
+    def counter(self, name: str):
+        return NULL_COUNTER
+
+    def gauge(self, name: str):
+        return NULL_GAUGE
+
+    def histogram(self, name: str, max_samples: int = 512):
+        return NULL_HISTOGRAM
+
+    def timeseries(self, name: str, max_points: int = 512):
+        return NULL_TIMESERIES
+
+    def bind(self, name: str, fn: Callable[[], float],
+             kind: str = "counter") -> None:
+        pass
+
+    def add_probe(self, probe: Any) -> Any:
+        return probe
+
+    def close(self) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {},
+                "series": {}, "spans": {"stats": {}, "open": []}}
+
+    def export(self, **meta: Any) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "schema": METRICS_SCHEMA,
+            "enabled": False,
+            "meta": {**self.meta, **meta},
+        }
+        doc.update(self.snapshot())
+        return doc
+
+
+def as_registry(telemetry: Any) -> "MetricsRegistry | NullRegistry":
+    """Normalise a user-facing ``telemetry`` option.
+
+    ``True`` -> fresh :class:`MetricsRegistry`; ``False``/``None`` ->
+    fresh :class:`NullRegistry`; an existing registry passes through
+    (caller-managed, e.g. shared across sessions).
+    """
+    if telemetry is True:
+        return MetricsRegistry()
+    if telemetry is False or telemetry is None:
+        return NullRegistry()
+    if isinstance(telemetry, (MetricsRegistry, NullRegistry)):
+        return telemetry
+    raise TypeError(
+        f"telemetry must be bool or a registry, got {type(telemetry).__name__}"
+    )

@@ -1,0 +1,137 @@
+"""SessionConfig construction API: config objects, the legacy kwargs
+shim, summary schema stability and the indexed receiver lookup."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.sender_cc import CcConfig
+from repro.pgm import SUMMARY_SCHEMA, add_receiver, create_session
+from repro.pgm.session import SessionConfig
+from repro.simulator import NON_LOSSY, dumbbell
+
+#: every summary key is part of the pgmcc.session-summary/v1 contract —
+#: keys may be added in later versions but never removed or renamed.
+SUMMARY_V1_KEYS = {
+    "schema", "tsi", "group", "odata_sent", "rdata_sent", "bytes_sent",
+    "acks_received", "naks_received", "nak_origins", "acker",
+    "acker_switches", "acker_evictions", "stalls", "window",
+    "malformed_dropped", "unrecoverable_data_loss", "guard", "phases",
+    "repair_latency", "receivers",
+}
+
+RECEIVER_V1_KEYS = {
+    "odata_received", "rdata_received", "loss_rate", "delivered",
+    "acks_sent", "naks_sent", "malformed_dropped",
+    "unrecoverable_data_loss",
+}
+
+
+class TestSessionConfig:
+    def test_config_object_is_primary_signature(self):
+        net = dumbbell(1, 1, NON_LOSSY)
+        cfg = SessionConfig(cc=CcConfig(), stop_at=5.0, trace_name="cfg")
+        session = create_session(net, "h0", ["r0"], config=cfg)
+        net.run(until=10.0)
+        assert session.sender.odata_sent > 0
+        assert max(session.trace.times("data")) <= 5.0
+        assert session.trace.name == "cfg"
+
+    def test_legacy_kwargs_still_accepted(self):
+        net = dumbbell(1, 1, NON_LOSSY)
+        session = create_session(net, "h0", ["r0"], stop_at=5.0,
+                                 trace_name="legacy")
+        net.run(until=10.0)
+        assert max(session.trace.times("data")) <= 5.0
+
+    def test_kwargs_and_config_produce_identical_sessions(self):
+        def run_one(use_config):
+            net = dumbbell(1, 1, NON_LOSSY, seed=21)
+            if use_config:
+                session = create_session(
+                    net, "h0", ["r0"],
+                    config=SessionConfig(payload_size=512, filter_w=16))
+            else:
+                session = create_session(net, "h0", ["r0"],
+                                         payload_size=512, filter_w=16)
+            net.run(until=15.0)
+            out = (session.sender.odata_sent, session.sender.acks_received,
+                   session.receivers[0].delivered)
+            session.close()
+            return out
+
+        assert run_one(True) == run_one(False)
+
+    def test_kwargs_override_config_fields(self):
+        net = dumbbell(1, 1, NON_LOSSY)
+        cfg = SessionConfig(trace_name="from-config")
+        session = create_session(net, "h0", ["r0"], config=cfg,
+                                 trace_name="from-kwarg")
+        assert session.trace.name == "from-kwarg"
+        # the caller's config object is never mutated
+        assert cfg.trace_name == "from-config"
+
+    def test_unknown_kwarg_raises_type_error(self):
+        net = dumbbell(1, 1, NON_LOSSY)
+        with pytest.raises(TypeError, match="create_session"):
+            create_session(net, "h0", ["r0"], no_such_option=1)
+
+    def test_config_sweeps_compose_with_replace(self):
+        base = SessionConfig(stop_at=30.0)
+        variants = [dataclasses.replace(base, filter_w=w) for w in (2, 8)]
+        assert [v.filter_w for v in variants] == [2, 8]
+        assert all(v.stop_at == 30.0 for v in variants)
+        assert base.filter_w is None
+
+
+class TestReceiverIndex:
+    def test_lookup_after_add_receiver(self):
+        net = dumbbell(1, 3, NON_LOSSY)
+        session = create_session(net, "h0", ["r0"])
+        add_receiver(net, session, "r1")
+        add_receiver(net, session, "r2", at=2.0)
+        net.run(until=5.0)
+        assert session.receiver("r1").rx_id == "r1"
+        assert session.receiver("r2").rx_id == "r2"
+
+    def test_lookup_survives_direct_list_append(self):
+        # Some experiments extend session.receivers directly; the index
+        # rebuilds itself rather than returning stale misses.
+        net = dumbbell(1, 2, NON_LOSSY)
+        session = create_session(net, "h0", ["r0"])
+        from repro.pgm.session import _make_receiver
+
+        session.receivers.append(
+            _make_receiver(net, session, "r1", True, False, None))
+        assert session.receiver("r1").host.name == "r1"
+
+    def test_missing_receiver_raises_keyerror(self):
+        net = dumbbell(1, 1, NON_LOSSY)
+        session = create_session(net, "h0", ["r0"])
+        with pytest.raises(KeyError):
+            session.receiver("nope")
+
+
+class TestSummarySchema:
+    def test_v1_key_set(self):
+        net = dumbbell(1, 2, NON_LOSSY)
+        session = create_session(net, "h0", ["r0", "r1"])
+        net.run(until=10.0)
+        summary = session.summary()
+        assert summary["schema"] == SUMMARY_SCHEMA == "pgmcc.session-summary/v1"
+        assert SUMMARY_V1_KEYS <= set(summary)
+        for rx_summary in summary["receivers"].values():
+            assert RECEIVER_V1_KEYS <= set(rx_summary)
+        session.close()
+
+    def test_summary_round_trips_through_json(self):
+        import json
+
+        net = dumbbell(1, 1, NON_LOSSY)
+        session = create_session(net, "h0", ["r0"])
+        net.run(until=10.0)
+        session.close()
+        summary = session.summary()
+        restored = json.loads(json.dumps(summary))
+        assert restored["odata_sent"] == summary["odata_sent"]
+        assert restored["receivers"].keys() == summary["receivers"].keys()

@@ -47,3 +47,28 @@ def run_sleep(scale: float = 1.0, seconds: float = 30.0) -> ExperimentResult:
 
 def run_hard_crash(scale: float = 1.0) -> ExperimentResult:
     os._exit(13)
+
+
+def run_session(scale: float = 1.0, seed: int = 5) -> ExperimentResult:
+    """A real (tiny) pgmcc session with telemetry enabled: exercises
+    the session-metrics export through the orchestrator's worker,
+    cache and manifest paths."""
+    from repro.pgm import create_session
+    from repro.simulator import LinkSpec, dumbbell
+
+    lossy = LinkSpec(rate_bps=500_000, delay=0.05, queue_slots=30,
+                     loss_rate=0.02)
+    net = dumbbell(1, 2, lossy, seed=seed)
+    session = create_session(net, "h0", ["r0", "r1"], telemetry_interval=0.5)
+    net.run(until=20.0 * scale)
+    result = ExperimentResult(
+        name="toy-session",
+        params={"scale": scale, "seed": seed},
+        expectation="deterministic session-metrics export",
+    )
+    result.add_row(odata=session.sender.odata_sent,
+                   acks=session.sender.acks_received)
+    result.metrics["odata_sent"] = session.sender.odata_sent
+    result.attach_telemetry(session, seed=seed)
+    session.close()
+    return result

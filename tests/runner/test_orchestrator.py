@@ -45,6 +45,52 @@ class TestDeterminism:
         assert a["results_digest"] != b["results_digest"]
 
 
+class TestSessionMetricsFlow:
+    """Session-metrics documents stay digest-stable through workers,
+    the cache and manifests — telemetry must never break -j equality."""
+
+    SPECS = [toy_spec(f"TOY-S{seed}", func="run_session", seed=seed)
+             for seed in (5, 6)]
+
+    def test_j1_and_jn_digest_equal_with_metrics_attached(self):
+        m1 = orchestrate(self.SPECS, jobs=1, scale=0.5).run(run_id="s1")
+        m2 = orchestrate(self.SPECS, jobs=2, scale=0.5).run(run_id="s2")
+        assert m1["results_digest"] == m2["results_digest"]
+        for task in m1["tasks"]:
+            telemetry = task["result"]["telemetry"]
+            assert telemetry["schema"] == "pgmcc.session-metrics/v1"
+            assert telemetry["counters"]["sender.odata_sent"] > 0
+
+    def test_metrics_survive_cache_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = orchestrate(self.SPECS, jobs=1, scale=0.5, cache=cache).run()
+        warm_orch = orchestrate(self.SPECS, jobs=1, scale=0.5, cache=cache)
+        warm = warm_orch.run()
+        assert warm["totals"]["cache_hits"] == 2
+        assert warm["results_digest"] == cold["results_digest"]
+        for outcome in warm_orch.outcomes:
+            assert outcome.result.telemetry is not None
+
+    def test_session_metrics_extracted_from_manifest(self):
+        from repro.runner import session_metrics_from_manifest
+
+        manifest = orchestrate(self.SPECS, jobs=1, scale=0.5).run()
+        docs = session_metrics_from_manifest(manifest)
+        assert [d["id"] for d in docs] == ["TOY-S5", "TOY-S6"]
+        assert all(d["schema"] == "pgmcc.session-metrics/v1" for d in docs)
+
+    def test_bench_results_carry_protocol_health(self):
+        from repro.runner import bench_results_from_manifest
+
+        manifest = orchestrate(self.SPECS, jobs=1, scale=0.5).run()
+        bench = bench_results_from_manifest(manifest, events_per_sec=1.0)
+        ids = [entry["id"] for entry in bench["session_metrics"]]
+        assert ids == ["TOY-S5", "TOY-S6"]
+        entry = bench["session_metrics"][0]
+        assert "counters" in entry and "spans" in entry
+        assert "series" not in entry  # compact view: reservoirs stay out
+
+
 class TestFailureIsolation:
     def test_raising_task_reported_siblings_complete(self):
         specs = [toy_spec("TOY-OK1", seed=1),

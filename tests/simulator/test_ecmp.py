@@ -75,7 +75,7 @@ class TestEcmp:
         net.set_group(group, "a", ["b"])
         net.router("E").set_ecmp(group, ["P1", "P2"])
         for parallel in ("P1", "P2"):
-            net.router(parallel).multicast_routes[group] = {"b"}
+            net.router(parallel).multicast_routes[group] = ("b",)
         sink = Sink()
         net.host("b").register_agent("raw", sink)
         for _ in range(8):

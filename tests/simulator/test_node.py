@@ -94,7 +94,7 @@ class TestRouterForwarding:
         """The arrival branch is excluded from replication."""
         net, router = self.build()
         group = f"{MULTICAST_PREFIX}g"
-        router.multicast_routes[group] = {"a", "b", "c"}
+        router.multicast_routes[group] = ("a", "b", "c")
         packet = Packet("a", group, 10)
         copies = router.forward_multicast(packet, from_node="a")
         assert copies == 2

@@ -110,9 +110,9 @@ class TestMulticastTree:
         net.duplex_link("R", "m2", ACCESS)
         graph = build_graph(net.nodes, net.link_delays)
         install_multicast_tree(graph, net.nodes, "mc:g", "s", ["m1", "m2"])
-        assert net.nodes["R"].multicast_routes["mc:g"] == {"m1", "m2"}
+        assert net.nodes["R"].multicast_routes["mc:g"] == ("m1", "m2")
         install_multicast_tree(graph, net.nodes, "mc:g", "s", ["m1"])
-        assert net.nodes["R"].multicast_routes["mc:g"] == {"m1"}
+        assert net.nodes["R"].multicast_routes["mc:g"] == ("m1",)
 
     def test_unreachable_member_raises(self):
         net = Network(seed=6)

@@ -1,0 +1,38 @@
+"""Overhead smoke CLI: modes run, report prints, gate logic fires."""
+
+import pytest
+
+from repro.telemetry.overhead import best_of, main, measure
+
+
+class TestMeasure:
+    def test_all_modes_produce_positive_rates(self):
+        for mode in ("baseline", "disabled", "enabled"):
+            assert measure(mode, chain=2_000) > 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            measure("turbo")
+
+    def test_best_of_takes_max(self):
+        assert best_of("baseline", repeats=2, chain=1_000) > 0
+
+
+class TestCli:
+    def test_report_only_exits_zero(self, capsys):
+        assert main(["--chain", "2000", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline:" in out and "disabled:" in out and "enabled:" in out
+
+    def test_impossible_threshold_fails(self, capsys):
+        # Requiring disabled mode to be >=1000x faster than baseline
+        # cannot pass: the gate path must return 1 and say why.
+        assert main(["--chain", "2000", "--repeats", "1",
+                     "--threshold", "-1000"]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_generous_threshold_passes(self):
+        # Disabled mode pays a couple of no-op calls per event; it can
+        # never be 95% slower than baseline.
+        assert main(["--chain", "5000", "--repeats", "2",
+                     "--threshold", "0.95"]) == 0
