@@ -145,7 +145,7 @@ class InvariantChecker:
         self._saved.clear()
         self._wrapped_receivers.clear()
         if self._tick_event is not None:
-            self._tick_event.cancel()
+            self.sim.cancel(self._tick_event)
             self._tick_event = None
         self._attached = False
 

@@ -144,7 +144,10 @@ class PgmNetworkElement:
                 return True
             self._fake_seen[key] = now
             self.naks_forwarded += 1
-            self.router.forward_unicast(packet)
+            # Interceptors borrow packets: retain before re-forwarding
+            # the same object (the router releases its reference when
+            # we return True).
+            self.router.forward_unicast(packet.retain())
             return True
 
         key = (nak.tsi, nak.seq)
@@ -161,7 +164,7 @@ class PgmNetworkElement:
             )
             self._send_ncf(nak, from_node)
             self.naks_forwarded += 1
-            self.router.forward_unicast(packet)
+            self.router.forward_unicast(packet.retain())
             self._maybe_gc(now)
             return True
 
@@ -172,13 +175,13 @@ class PgmNetworkElement:
         self._send_ncf(nak, from_node)
         if not self.suppress:
             self.naks_forwarded += 1
-            self.router.forward_unicast(packet)
+            self.router.forward_unicast(packet.retain())
             return True
         if self.rx_loss_aware and nak.report.rx_loss > entry.forwarded_rx_loss:
             entry.forwarded_rx_loss = nak.report.rx_loss
             self.naks_forwarded += 1
             self.naks_forwarded_rx_loss += 1
-            self.router.forward_unicast(packet)
+            self.router.forward_unicast(packet.retain())
             return True
         self.naks_suppressed += 1
         return True
@@ -219,7 +222,8 @@ class PgmNetworkElement:
         for branch in entry.branches:
             if branch == from_node:
                 continue
-            self.router.send_via(branch, packet)
+            # Borrowed packet, one reference per re-emitted branch.
+            self.router.send_via(branch, packet.retain())
         self.rdata_selective += 1
         # Keep the entry as NAK-elimination state until it expires, so
         # straggler NAKs (e.g. from long-RTT receivers that detected

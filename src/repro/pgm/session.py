@@ -31,6 +31,7 @@ from typing import Any, Callable, Optional
 
 from ..core.loss_filter import DEFAULT_W
 from ..core.sender_cc import CcConfig
+from ..simulator.packet import set_packet_pooling
 from ..simulator.topology import Network
 from ..simulator.trace import FlowTrace
 from ..telemetry import as_registry
@@ -96,6 +97,12 @@ class SessionConfig:
     telemetry: Any = True
     #: sim-clock sampling period for the session probe
     telemetry_interval: float = DEFAULT_PROBE_INTERVAL
+    #: event scheduler for the session's network: "heap" (reference),
+    #: "calendar", or None to keep whatever the Network already uses
+    scheduler: Optional[str] = None
+    #: process-wide packet pooling override (None: leave as configured,
+    #: see ``repro.simulator.packet.set_packet_pooling``)
+    packet_pool: Optional[bool] = None
 
 
 @dataclass
@@ -258,6 +265,14 @@ def create_session(
             cfg = dataclasses.replace(cfg, **kwargs)
         except TypeError as exc:
             raise TypeError(f"create_session: {exc}") from None
+
+    # Engine knobs first: the scheduler swap migrates pending events
+    # but not direct Simulator references, so it must precede every
+    # agent/guard/injector construction below.
+    if cfg.scheduler is not None:
+        net.use_scheduler(cfg.scheduler)
+    if cfg.packet_pool is not None:
+        set_packet_pooling(cfg.packet_pool)
 
     tsi = cfg.tsi if cfg.tsi is not None else net.next_tsi()
     group = cfg.group if cfg.group is not None else f"mc:pgm{tsi}"

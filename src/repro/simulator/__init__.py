@@ -9,7 +9,15 @@ Public surface::
     )
 """
 
-from .engine import Event, Simulator, Timer
+from .engine import (
+    CalendarSimulator,
+    Event,
+    Simulator,
+    Timer,
+    cancel_event,
+    describe_event,
+    make_simulator,
+)
 from .faults import (
     ACKER,
     AckReplay,
@@ -41,7 +49,15 @@ from .loss_models import (
     PeriodicLoss,
 )
 from .node import EcmpRouter, Host, Node, Router
-from .packet import MULTICAST_PREFIX, Address, Packet, is_multicast
+from .packet import (
+    MULTICAST_PREFIX,
+    POOL,
+    Address,
+    Packet,
+    PacketPool,
+    is_multicast,
+    set_packet_pooling,
+)
 from .queues import DropTailQueue, RedQueue
 from .rng import RngRegistry
 from .topology import (
@@ -57,9 +73,13 @@ from .topology import (
 from .trace import FlowTrace, TraceRecord, TraceSet
 
 __all__ = [
+    "CalendarSimulator",
     "Event",
     "Simulator",
     "Timer",
+    "cancel_event",
+    "describe_event",
+    "make_simulator",
     "ACKER",
     "AckReplay",
     "BurstLoss",
@@ -91,9 +111,12 @@ __all__ = [
     "Node",
     "Router",
     "MULTICAST_PREFIX",
+    "POOL",
     "Address",
     "Packet",
+    "PacketPool",
     "is_multicast",
+    "set_packet_pooling",
     "DropTailQueue",
     "RedQueue",
     "RngRegistry",

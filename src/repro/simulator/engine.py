@@ -1,46 +1,97 @@
 """Discrete-event simulation engine.
 
 This is the substrate that plays the role of ns-2 in the paper's
-simulations and of the dummynet testbed in its experiments: a
-heap-driven event loop with deterministic tie-breaking, plus a small
-restartable :class:`Timer` helper used by the protocol agents.
+simulations and of the dummynet testbed in its experiments: an event
+loop with deterministic tie-breaking, plus a small restartable
+:class:`Timer` helper used by the protocol agents.
+
+Two interchangeable schedulers implement the same ``schedule/run``
+API (see docs in DESIGN.md, "Event schedulers"):
+
+* :class:`Simulator` — the default and *reference* implementation: a
+  binary heap with a cached front slot, so chains of
+  schedule-one/fire-one events (the protocol hot path) never touch the
+  heap at all.
+* :class:`CalendarSimulator` — a calendar queue (Brown 1988): events
+  hash into time buckets, one bucket access drains every event at a
+  tick in one batch, and the bucket array resizes itself as load
+  grows.
+
+Use :func:`make_simulator` (or the ``PGMCC_SIM_SCHEDULER`` environment
+variable, or ``SessionConfig.scheduler``) to pick one; both produce
+the identical (time, insertion-order) dispatch total order, which the
+equivalence suite pins down experiment-by-experiment.
+
+Event handles
+-------------
+
+For speed, a scheduled event is a plain ``[time, seq, fn, args]``
+list — the heap/bucket entry *is* the handle.  Cancel through the
+simulator (``sim.cancel(handle)``) or the module-level
+:func:`cancel_event`; cancellation is lazy (the entry stays queued and
+is discarded when reached).  :func:`describe_event` renders a handle
+for debugging without resurrecting released pooled packets: it leans
+on ``Packet.__repr__``'s released-state guard rather than touching
+payload fields itself.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
+import os
+from bisect import insort
 from typing import Any, Callable, Optional
 
+__all__ = [
+    "Event",
+    "Simulator",
+    "CalendarSimulator",
+    "Timer",
+    "SCHEDULER_ENV",
+    "cancel_event",
+    "describe_event",
+    "make_simulator",
+]
 
-class Event:
-    """A scheduled callback.
+#: Environment variable selecting the process-wide default scheduler
+#: ("heap" or "calendar") for :func:`make_simulator` /
+#: :class:`~repro.simulator.topology.Network`.
+SCHEDULER_ENV = "PGMCC_SIM_SCHEDULER"
 
-    Events are returned by :meth:`Simulator.schedule` and can be
-    cancelled.  Cancellation is lazy: the heap entry stays in place and
-    is discarded when popped.
+#: Event handles are plain lists (see module docstring).  The name is
+#: kept so ``from repro.simulator import Event`` and
+#: ``isinstance(handle, Event)`` continue to work.
+Event = list
+
+_INF = float("inf")
+
+
+def cancel_event(ev: list) -> None:
+    """Cancel a scheduled event handle.  Safe to call repeatedly.
+
+    Cancellation is lazy: the entry stays in the queue and is skipped
+    when its turn comes.  Clearing ``args`` drops any references the
+    event held (packets, agents) immediately.
     """
+    ev[2] = None
+    ev[3] = ()
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
+def describe_event(ev: list) -> str:
+    """Debug string for an event handle.
 
-    def cancel(self) -> None:
-        """Prevent the event from firing.  Safe to call repeatedly."""
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        # Tie-break on insertion order so runs are deterministic.
-        return (self.time, self.seq) < (other.time, other.seq)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = " cancelled" if self.cancelled else ""
-        return f"<Event t={self.time:.6f} fn={getattr(self.fn, '__name__', self.fn)}{state}>"
+    Never reaches into stale state: cancelled events render without
+    their (cleared) arguments, and live arguments are rendered via
+    their own ``__repr__`` — released pooled packets guard theirs.
+    """
+    t, fn = ev[0], ev[2]
+    if fn is None:
+        return f"<event t={t:.6f} cancelled>"
+    name = (getattr(fn, "__qualname__", None)
+            or getattr(fn, "__name__", None) or repr(fn))
+    args = ev[3]
+    body = f" args={args!r}" if args else ""
+    return f"<event t={t:.6f} fn={name}{body}>"
 
 
 class Simulator:
@@ -51,66 +102,168 @@ class Simulator:
         sim = Simulator()
         sim.schedule(1.0, hello)
         sim.run(until=10.0)
+
+    This is the reference scheduler: a binary heap of
+    ``[time, seq, fn, args]`` entries with the earliest event cached
+    in a front slot (``_next``) outside the heap.  The invariant is
+    that the slot always holds the global minimum (or ``None`` exactly
+    when nothing is pending), so the fire-one/schedule-one pattern the
+    protocol agents produce runs entirely slot-to-slot with no heap
+    traffic.
+
+    Sequence numbers break ties by insertion order.  They are assigned
+    lazily: an event that goes straight to the slot gets its number
+    only if it is later displaced into the heap or tied by a same-time
+    arrival — sound because a slot entry without a number implies the
+    queue was empty when it was scheduled, so no earlier same-time
+    entry can exist anywhere.
     """
+
+    kind = "heap"
+
+    __slots__ = ("now", "_heap", "_next", "_seq", "_running", "_stopped",
+                 "events_processed")
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        # Heap entries are (time, seq, Event) tuples: heapq then
-        # compares at C speed and never falls back to Event.__lt__,
-        # with the identical (time, insertion-order) total order.
-        self._heap: list[tuple[float, int, Event]] = []
-        self._counter = itertools.count()
+        self._heap: list[list] = []
+        self._next: Optional[list] = None
+        self._seq = 0
         self._running = False
         self._stopped = False
         self.events_processed = 0
 
     # -- scheduling ----------------------------------------------------
 
-    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
+    def schedule(self, delay: float, fn: Callable, *args: Any,
+                 _push=heapq.heappush) -> list:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn, *args)
+        t = self.now + delay
+        ev = [t, None, fn, args]
+        nxt = self._next
+        if nxt is None:
+            self._next = ev
+        elif t < nxt[0]:
+            if nxt[1] is None:
+                nxt[1] = self._seq
+                self._seq += 1
+            _push(self._heap, nxt)
+            self._next = ev
+        else:
+            if nxt[1] is None and t == nxt[0]:
+                # Materialise the slot's tie-break number first so the
+                # earlier arrival keeps the earlier number.
+                nxt[1] = self._seq
+                self._seq += 1
+            ev[1] = self._seq
+            self._seq += 1
+            _push(self._heap, ev)
+        return ev
 
-    def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
+    def schedule_at(self, time: float, fn: Callable, *args: Any,
+                    _push=heapq.heappush) -> list:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
         if time < self.now:
             raise ValueError(
                 f"cannot schedule at {time:.6f}, clock already at {self.now:.6f}"
             )
-        ev = Event(time, next(self._counter), fn, args)
-        heapq.heappush(self._heap, (time, ev.seq, ev))
+        ev = [time, None, fn, args]
+        nxt = self._next
+        if nxt is None:
+            self._next = ev
+        elif time < nxt[0]:
+            if nxt[1] is None:
+                nxt[1] = self._seq
+                self._seq += 1
+            _push(self._heap, nxt)
+            self._next = ev
+        else:
+            if nxt[1] is None and time == nxt[0]:
+                nxt[1] = self._seq
+                self._seq += 1
+            ev[1] = self._seq
+            self._seq += 1
+            _push(self._heap, ev)
         return ev
+
+    def cancel(self, ev: list) -> None:
+        """Cancel a handle returned by :meth:`schedule`/:meth:`schedule_at`."""
+        ev[2] = None
+        ev[3] = ()
 
     # -- execution -----------------------------------------------------
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
         """Process events in time order.
 
-        Stops when the heap is exhausted, when the next event lies past
-        ``until`` (the clock is then advanced to ``until``), when
+        Stops when the queue is exhausted, when the next event lies
+        past ``until`` (the clock is then advanced to ``until``), when
         ``max_events`` have been processed, or when :meth:`stop` is
         called from inside a callback.
         """
         self._running = True
         self._stopped = False
+        heap = self._heap
+        pop = heapq.heappop
         processed = 0
         try:
-            while self._heap and not self._stopped:
-                if max_events is not None and processed >= max_events:
-                    break
-                time = self._heap[0][0]
-                if until is not None and time > until:
-                    break
-                ev = heapq.heappop(self._heap)[2]
-                if ev.cancelled:
-                    continue
-                self.now = time
-                ev.fn(*ev.args)
-                processed += 1
-                self.events_processed += 1
+            if until is None and max_events is None:
+                # Specialised tight loop for the unbounded case (the
+                # benchmark workload and run-to-exhaustion callers).
+                while True:
+                    ev = self._next
+                    if ev is None:
+                        break
+                    self._next = pop(heap) if heap else None
+                    fn = ev[2]
+                    if fn is None:
+                        continue
+                    self.now = ev[0]
+                    fn(*ev[3])
+                    processed += 1
+                    if self._stopped:
+                        break
+            else:
+                limit = _INF if until is None else until
+                budget = _INF if max_events is None else max_events
+                while processed < budget:
+                    ev = self._next
+                    if ev is None:
+                        break
+                    t = ev[0]
+                    if t > limit:
+                        break
+                    self._next = pop(heap) if heap else None
+                    fn = ev[2]
+                    if fn is None:
+                        continue
+                    self.now = t
+                    fn(*ev[3])
+                    processed += 1
+                    if self._stopped:
+                        break
+                    # Same-tick drain: everything else scheduled at t
+                    # fires without re-checking the time limit.
+                    while processed < budget:
+                        ev = self._next
+                        if ev is None or ev[0] != t:
+                            break
+                        self._next = pop(heap) if heap else None
+                        fn = ev[2]
+                        if fn is None:
+                            continue
+                        fn(*ev[3])
+                        processed += 1
+                        if self._stopped:
+                            break
+                    if self._stopped:
+                        break
         finally:
             self._running = False
+            self.events_processed += processed
         if until is not None and self.now < until and not self._stopped:
             self.now = until
 
@@ -120,7 +273,11 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for _, _, ev in self._heap if not ev.cancelled)
+        count = sum(1 for ev in self._heap if ev[2] is not None)
+        nxt = self._next
+        if nxt is not None and nxt[2] is not None:
+            count += 1
+        return count
 
     def metrics(self) -> dict:
         """Engine state for telemetry pull-bindings (never touches the
@@ -128,8 +285,290 @@ class Simulator:
         return {
             "now": self.now,
             "events_processed": self.events_processed,
-            "heap_len": len(self._heap),
+            "heap_len": len(self._heap) + (1 if self._next is not None else 0),
+            "scheduler": self.kind,
         }
+
+    # -- migration (Network.use_scheduler) -----------------------------
+
+    def _drain_entries(self) -> list[tuple[float, Callable, tuple]]:
+        """Remove and return all live events as ``(time, fn, args)`` in
+        dispatch order, leaving the simulator empty."""
+        entries = []
+        nxt = self._next
+        if nxt is not None and nxt[2] is not None:
+            entries.append(nxt)
+        entries.extend(ev for ev in self._heap if ev[2] is not None)
+        entries.sort(key=lambda ev: (ev[0], ev[1] if ev[1] is not None else -1))
+        self._next = None
+        self._heap.clear()
+        return [(ev[0], ev[2], ev[3]) for ev in entries]
+
+
+class CalendarSimulator:
+    """Calendar-queue scheduler: same API and dispatch order as
+    :class:`Simulator`, different engine underneath.
+
+    Events hash into ``nbuckets`` circular time buckets of ``width``
+    seconds, each kept sorted by ``(time, seq)``.  Dequeueing scans
+    from the current bucket; one access drains *every* event at the
+    minimal tick in a single batch (same-time events always share a
+    bucket).  A full fruitless lap falls back to a direct min-scan,
+    which also re-anchors the cursor — this keeps sparse/far-future
+    schedules correct when they don't fit the current calendar year.
+    The bucket array doubles whenever occupancy exceeds two events per
+    bucket, re-deriving the width from the observed event-time span.
+
+    Tie-break numbers are assigned eagerly, so the (time, seq) total
+    order is identical to the reference heap's.
+    """
+
+    kind = "calendar"
+
+    __slots__ = ("now", "_seq", "_nb", "_width", "_buckets", "_count",
+                 "_cur", "_running", "_stopped", "events_processed")
+
+    #: bucket-count ceiling for the adaptive resize
+    MAX_BUCKETS = 32768
+
+    def __init__(self, nbuckets: int = 64, width: float = 0.005) -> None:
+        if nbuckets < 1 or nbuckets & (nbuckets - 1):
+            raise ValueError("nbuckets must be a power of two")
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.now: float = 0.0
+        self._seq = 0
+        self._nb = nbuckets
+        self._width = width
+        self._buckets: list[list[list]] = [[] for _ in range(nbuckets)]
+        self._count = 0  # queued entries, cancelled included until popped
+        self._cur = 0  # virtual bucket number of the scan cursor
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> list:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self._insert(self.now + delay, fn, args)
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> list:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time:.6f}, clock already at {self.now:.6f}"
+            )
+        return self._insert(time, fn, args)
+
+    def _insert(self, t: float, fn: Callable, args: tuple) -> list:
+        ev = [t, self._seq, fn, args]
+        self._seq += 1
+        insort(self._buckets[int(t / self._width) & (self._nb - 1)], ev)
+        self._count += 1
+        if self._count > 2 * self._nb and self._nb < self.MAX_BUCKETS:
+            self._resize()
+        return ev
+
+    def _reinsert(self, ev: list) -> None:
+        """Put an undispatched entry back, keeping its tie-break number."""
+        insort(self._buckets[int(ev[0] / self._width) & (self._nb - 1)], ev)
+        self._count += 1
+
+    def _resize(self) -> None:
+        entries = [ev for bucket in self._buckets for ev in bucket]
+        nb = self._nb * 2
+        lo = min(ev[0] for ev in entries)
+        hi = max(ev[0] for ev in entries)
+        span = hi - lo
+        if span > 0:
+            # Aim for a handful of events per bucket-window over the
+            # observed span; clamp so the width never collapses.
+            width = max(span * 4.0 / len(entries), 1e-9)
+        else:
+            width = self._width
+        self._nb = nb
+        self._width = width
+        self._buckets = [[] for _ in range(nb)]
+        mask = nb - 1
+        for ev in entries:
+            insort(self._buckets[int(ev[0] / width) & mask], ev)
+        self._resync()
+
+    def _resync(self) -> None:
+        """Re-anchor the scan cursor.
+
+        The cursor must never start ahead of the earliest pending
+        event: ``run(until, max_events)`` advances the clock to
+        ``until`` on a budget stop exactly like the reference heap,
+        which can leave undispatched events *behind* the clock — a
+        cursor anchored at ``now`` would then find a later lap's event
+        first and break the (time, seq) order.
+        """
+        anchor = self.now
+        for bucket in self._buckets:
+            if bucket and bucket[0][0] < anchor:
+                anchor = bucket[0][0]
+        self._cur = int(anchor / self._width)
+
+    def cancel(self, ev: list) -> None:
+        """Cancel a handle returned by :meth:`schedule`/:meth:`schedule_at`."""
+        ev[2] = None
+        ev[3] = ()
+
+    # -- dequeue -------------------------------------------------------
+
+    def _next_batch(self, limit: float) -> Optional[list[list]]:
+        """Remove and return every event at the earliest pending tick
+        (``None`` if nothing is pending at or before ``limit``).
+
+        Same-time events are guaranteed to share a bucket, where they
+        sit as a contiguous sorted run — so one bucket access drains
+        the whole tick.
+        """
+        if self._count == 0:
+            return None
+        nb = self._nb
+        mask = nb - 1
+        width = self._width
+        buckets = self._buckets
+        vb = self._cur
+        for _ in range(nb):
+            bucket = buckets[vb & mask]
+            # The head is due this lap iff its *own* bucket number is
+            # not in the future.  Comparing bucket numbers — the exact
+            # arithmetic _insert used to place it — rather than an
+            # accumulated time ceiling means float rounding can never
+            # push a head just past its window and skip it for a lap.
+            if bucket and int(bucket[0][0] / width) <= vb:
+                self._cur = vb
+                t0 = bucket[0][0]
+                if t0 > limit:
+                    return None
+                j = 1
+                n = len(bucket)
+                while j < n and bucket[j][0] == t0:
+                    j += 1
+                batch = bucket[:j]
+                del bucket[:j]
+                self._count -= j
+                return batch
+            vb += 1
+        # A whole calendar year with nothing due: direct min-scan.
+        best = None
+        for bucket in buckets:
+            if bucket:
+                head = bucket[0]
+                if best is None or (head[0], head[1]) < (best[0][0], best[0][1]):
+                    best = (head, bucket)
+        if best is None:  # only cancelled-and-popped ghosts remain
+            return None
+        head, bucket = best
+        t0 = head[0]
+        if t0 > limit:
+            return None
+        j = 1
+        n = len(bucket)
+        while j < n and bucket[j][0] == t0:
+            j += 1
+        batch = bucket[:j]
+        del bucket[:j]
+        self._count -= j
+        # Re-anchor the cursor at the event we just found.
+        self._cur = int(t0 / width)
+        return batch
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Process events in time order (same semantics as
+        :meth:`Simulator.run`)."""
+        self._running = True
+        self._stopped = False
+        limit = _INF if until is None else until
+        budget = _INF if max_events is None else max_events
+        processed = 0
+        self._resync()
+        try:
+            while processed < budget and not self._stopped:
+                batch = self._next_batch(limit)
+                if batch is None:
+                    break
+                t = batch[0][0]
+                i = 0
+                n = len(batch)
+                while i < n:
+                    ev = batch[i]
+                    i += 1
+                    fn = ev[2]
+                    if fn is None:
+                        # A fully-cancelled batch must not advance the
+                        # clock (matches the reference heap).
+                        continue
+                    self.now = t
+                    fn(*ev[3])
+                    processed += 1
+                    if self._stopped or processed >= budget:
+                        break
+                while i < n:  # push back the undispatched tail
+                    self._reinsert(batch[i])
+                    i += 1
+        finally:
+            self._running = False
+            self.events_processed += processed
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+
+    def stop(self) -> None:
+        """Stop the run loop after the current batch event returns."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for bucket in self._buckets
+                   for ev in bucket if ev[2] is not None)
+
+    def metrics(self) -> dict:
+        """Engine state for telemetry pull-bindings."""
+        return {
+            "now": self.now,
+            "events_processed": self.events_processed,
+            "heap_len": self._count,
+            "scheduler": self.kind,
+        }
+
+    # -- migration (Network.use_scheduler) -----------------------------
+
+    def _drain_entries(self) -> list[tuple[float, Callable, tuple]]:
+        """Remove and return all live events as ``(time, fn, args)`` in
+        dispatch order, leaving the simulator empty."""
+        entries = [ev for bucket in self._buckets
+                   for ev in bucket if ev[2] is not None]
+        entries.sort(key=lambda ev: (ev[0], ev[1]))
+        for bucket in self._buckets:
+            bucket.clear()
+        self._count = 0
+        return [(ev[0], ev[2], ev[3]) for ev in entries]
+
+
+def make_simulator(kind: Optional[str] = None) -> "Simulator | CalendarSimulator":
+    """Build a simulator of the requested ``kind``.
+
+    ``None`` defers to the ``PGMCC_SIM_SCHEDULER`` environment
+    variable, falling back to the reference heap.  Accepted kinds:
+    ``"heap"`` and ``"calendar"``.
+    """
+    if kind is None:
+        kind = os.environ.get(SCHEDULER_ENV) or "heap"
+    if kind == "heap":
+        return Simulator()
+    if kind == "calendar":
+        return CalendarSimulator()
+    raise ValueError(f"unknown scheduler kind {kind!r} "
+                     "(expected 'heap' or 'calendar')")
 
 
 class Timer:
@@ -137,21 +576,25 @@ class Timer:
 
     Protocols use this for retransmission timeouts, NAK backoffs and
     stall detection.  ``restart`` supersedes any pending expiry.
+    Works identically on either scheduler.
     """
 
-    def __init__(self, sim: Simulator, callback: Callable[[], None]):
+    def __init__(self, sim: "Simulator | CalendarSimulator",
+                 callback: Callable[[], None]):
         self._sim = sim
         self._callback = callback
-        self._event: Optional[Event] = None
+        self._event: Optional[list] = None
 
     @property
     def armed(self) -> bool:
-        return self._event is not None and not self._event.cancelled
+        ev = self._event
+        return ev is not None and ev[2] is not None
 
     @property
     def expiry(self) -> Optional[float]:
         """Absolute time at which the timer will fire, or ``None``."""
-        return self._event.time if self.armed else None
+        ev = self._event
+        return ev[0] if ev is not None and ev[2] is not None else None
 
     def start(self, delay: float) -> None:
         """Arm the timer.  Raises if already armed."""
@@ -165,8 +608,10 @@ class Timer:
         self._event = self._sim.schedule(delay, self._fire)
 
     def cancel(self) -> None:
-        if self._event is not None:
-            self._event.cancel()
+        ev = self._event
+        if ev is not None:
+            ev[2] = None
+            ev[3] = ()
             self._event = None
 
     def _fire(self) -> None:

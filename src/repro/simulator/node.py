@@ -94,10 +94,15 @@ class Node:
     # -- transmission helpers -------------------------------------------
 
     def send_via(self, neighbor: str, packet: Packet) -> bool:
-        """Transmit on the link to ``neighbor``; False if dropped/missing."""
+        """Transmit on the link to ``neighbor``; False if dropped/missing.
+
+        Consumes one packet reference (the link takes it over; a
+        missing link counts as a drop).
+        """
         link = self.links.get(neighbor)
         if link is None:
             self.packets_dropped_no_route += 1
+            packet.release()
             return False
         return link.send(packet)
 
@@ -105,10 +110,14 @@ class Node:
         return self.unicast_routes.get(dst)
 
     def forward_unicast(self, packet: Packet) -> bool:
-        """Send towards ``packet.dst`` using the unicast table."""
-        nh = self.unicast_next_hop(packet.dst)
+        """Send towards ``packet.dst`` using the unicast table.
+
+        Consumes one packet reference on every path.
+        """
+        nh = self.unicast_routes.get(packet.dst)
         if nh is None:
             self.packets_dropped_no_route += 1
+            packet.release()
             return False
         return self.send_via(nh, packet)
 
@@ -116,15 +125,19 @@ class Node:
         """Replicate ``packet`` to every downstream branch of its group.
 
         Returns the number of copies transmitted.  The arrival branch is
-        excluded (split-horizon) so the tree stays loop-free.
+        excluded (split-horizon) so the tree stays loop-free.  Each
+        branch shares the one packet instance under its own reference;
+        the caller's reference is consumed here.
         """
         branches = self.multicast_routes.get(packet.dst, ())
         copies = 0
         for neighbor in branches:
             if neighbor == from_node:
                 continue
+            packet.retain()
             if self.send_via(neighbor, packet):
                 copies += 1
+        packet.release()
         return copies
 
 
@@ -159,23 +172,32 @@ class Host(Node):
     def receive(self, packet: Packet, from_node: str) -> None:
         if self.faulted:
             self.fault_drops += 1
+            packet.release()
             return
-        local = packet.dst == self.name or (
-            is_multicast(packet.dst) and packet.dst in self.groups
-        )
-        if not local:
+        dst = packet.dst
+        # groups only ever holds multicast addresses, so the plain
+        # membership test covers the is_multicast check too.
+        if dst != self.name and dst not in self.groups:
             # Hosts are not transit nodes; stray packets are dropped.
             self.packets_dropped_no_route += 1
+            packet.release()
             return
         self.packets_received += 1
         agent = self._agents.get(packet.proto)
         if agent is not None:
+            # Agents borrow: payloads may outlive the packet, the
+            # packet object itself must not.
             agent.handle_packet(packet)
+        packet.release()
 
     def send(self, packet: Packet) -> bool:
-        """Originate a packet: stamp creation time and route it out."""
+        """Originate a packet: stamp creation time and route it out.
+
+        Consumes the creator's reference on every path.
+        """
         if self.faulted:
             self.fault_drops += 1
+            packet.release()
             return False
         packet.created_at = self.sim.now
         if is_multicast(packet.dst):
@@ -207,14 +229,20 @@ class Router(Node):
     def receive(self, packet: Packet, from_node: str) -> None:
         if self.faulted:
             self.fault_drops += 1
+            packet.release()
             return
         packet.hops += 1
         if packet.hops > Packet.MAX_HOPS:
             # Forwarding loop safety net; topologies are trees in all
             # experiments so this should never trigger.
             self.packets_dropped_no_route += 1
+            packet.release()
             return
-        if self.interceptor is not None and self.interceptor.intercept(packet, from_node):
+        interceptor = self.interceptor
+        if interceptor is not None and interceptor.intercept(packet, from_node):
+            # Interceptors borrow; one that re-forwards the same
+            # packet object retains it first.
+            packet.release()
             return
         self.packets_forwarded += 1
         if is_multicast(packet.dst):

@@ -52,15 +52,31 @@ class DropTailQueue:
         return True
 
     def offer(self, packet: Packet) -> bool:
-        """Enqueue ``packet`` if it fits; return whether it was accepted."""
-        if not self.would_accept(packet):
+        """Enqueue ``packet`` if it fits; return whether it was accepted.
+
+        A queued packet's reference lives in the queue until
+        :meth:`pop` hands it back (or :meth:`clear` releases it);
+        rejected packets stay owned by the caller.
+        """
+        # Inlined limit checks + single-pass byte/peak accounting: this
+        # runs once per packet on every congested link.
+        queue = self._queue
+        slots = len(queue)
+        if self.max_slots is not None and slots >= self.max_slots:
             self.drops += 1
             return False
-        self._queue.append(packet)
-        self.bytes_queued += packet.size
+        nbytes = self.bytes_queued + packet.size
+        if self.max_bytes is not None and nbytes > self.max_bytes:
+            self.drops += 1
+            return False
+        queue.append(packet)
+        self.bytes_queued = nbytes
         self.enqueues += 1
-        self.peak_bytes = max(self.peak_bytes, self.bytes_queued)
-        self.peak_slots = max(self.peak_slots, len(self._queue))
+        if nbytes > self.peak_bytes:
+            self.peak_bytes = nbytes
+        slots += 1
+        if slots > self.peak_slots:
+            self.peak_slots = slots
         return True
 
     def pop(self) -> Optional[Packet]:
@@ -72,7 +88,16 @@ class DropTailQueue:
         return packet
 
     def clear(self) -> None:
-        self._queue.clear()
+        """Drop everything queued, releasing each packet's reference
+        exactly once (teardown/fault path).  Packets a fault already
+        released are caught by the pool's double-release counter, not
+        recycled twice."""
+        queue = self._queue
+        while queue:
+            packet = queue.popleft()
+            release = getattr(packet, "release", None)
+            if release is not None:
+                release()
         self.bytes_queued = 0
 
     def metrics(self) -> dict:

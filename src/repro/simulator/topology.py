@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from .engine import Simulator
+from .engine import Simulator, make_simulator
 from .link import Link
 from .loss_models import BernoulliLoss, LossModel, NoLoss
 from .node import Host, Node, Router
@@ -46,7 +46,9 @@ class LinkSpec:
 
     def make_loss(self, rng) -> LossModel:
         if self.loss_rate > 0.0:
-            return BernoulliLoss(self.loss_rate, rng)
+            # Topology-owned streams are exclusive per link, so the
+            # batched fast path is draw-for-draw identical to batch=1.
+            return BernoulliLoss(self.loss_rate, rng, batch=256)
         return NoLoss()
 
 
@@ -67,8 +69,11 @@ class Network:
     trees are installed per (group, source) with :meth:`set_group`.
     """
 
-    def __init__(self, sim: Optional[Simulator] = None, seed: int = 0):
-        self.sim = sim if sim is not None else Simulator()
+    def __init__(self, sim: Optional[Simulator] = None, seed: int = 0,
+                 scheduler: Optional[str] = None):
+        if sim is not None and scheduler is not None:
+            raise ValueError("pass either sim or scheduler, not both")
+        self.sim = sim if sim is not None else make_simulator(scheduler)
         self.rng = RngRegistry(seed)
         self.nodes: dict[str, Node] = {}
         self.link_delays: dict[tuple[str, str], float] = {}
@@ -192,6 +197,32 @@ class Network:
 
     # -- execution -----------------------------------------------------------
 
+    def use_scheduler(self, kind: str):
+        """Swap the event scheduler, migrating any pending events.
+
+        Pending (non-cancelled) events transfer with their absolute
+        times, and the clock / processed counter carry over, so the
+        swap is transparent to everything that reaches the engine
+        through ``net.sim`` or a node — which is why it must run
+        *before* protocol agents or fault injectors are attached: those
+        capture a direct ``Simulator`` reference at construction and
+        would keep scheduling onto the old engine.
+        """
+        old = self.sim
+        if old.kind == kind:
+            return old
+        new = make_simulator(kind)
+        new.now = old.now
+        new.events_processed = old.events_processed
+        for t, fn, args in old._drain_entries():
+            new.schedule_at(t, fn, *args)
+        self.sim = new
+        for node in self.nodes.values():
+            node.sim = new
+            for link in node.links.values():
+                link.sim = new
+        return new
+
     def run(self, until: float) -> None:
         self.sim.run(until=until)
 
@@ -207,6 +238,7 @@ def dumbbell(
     bottleneck: LinkSpec,
     access: LinkSpec = ACCESS,
     seed: int = 0,
+    scheduler: Optional[str] = None,
 ) -> Network:
     """``n_left`` hosts -- R0 ==bottleneck== R1 -- ``n_right`` hosts.
 
@@ -214,7 +246,7 @@ def dumbbell(
     The bottleneck applies in both directions (ACK path shares it, as
     in the paper's testbed).
     """
-    net = Network(seed=seed)
+    net = Network(seed=seed, scheduler=scheduler)
     net.add_router("R0")
     net.add_router("R1")
     for i in range(n_left):
@@ -233,10 +265,11 @@ def star(
     leaf_spec: LinkSpec,
     access: LinkSpec = ACCESS,
     seed: int = 0,
+    scheduler: Optional[str] = None,
 ) -> Network:
     """One source host ``src`` behind router ``R0``, with ``n_leaves``
     receivers each behind its own independent link (Fig. 7)."""
-    net = Network(seed=seed)
+    net = Network(seed=seed, scheduler=scheduler)
     net.add_host("src")
     net.add_router("R0")
     net.duplex_link("src", "R0", access)
@@ -252,6 +285,7 @@ def two_bottleneck(
     l2: LinkSpec,
     access: LinkSpec = ACCESS,
     seed: int = 0,
+    scheduler: Optional[str] = None,
 ) -> Network:
     """The Fig. 5 topology::
 
@@ -260,7 +294,7 @@ def two_bottleneck(
 
     with the TCP sender ``ts`` co-located with ``src`` behind R0.
     """
-    net = Network(seed=seed)
+    net = Network(seed=seed, scheduler=scheduler)
     for host in ("src", "ts", "pr1", "pr2", "tr"):
         net.add_host(host)
     for router in ("R0", "R1", "R2"):

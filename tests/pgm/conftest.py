@@ -14,7 +14,9 @@ class Collector:
         self.packets = []
 
     def handle_packet(self, packet):
-        self.packets.append(packet)
+        # Agents borrow; keeping the packet past the callback needs a
+        # reference of our own (pooled packets get recycled otherwise).
+        self.packets.append(packet.retain())
 
     def payloads(self, cls=None):
         msgs = [p.payload for p in self.packets]

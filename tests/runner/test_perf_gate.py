@@ -1,0 +1,113 @@
+"""Perf-regression gate: threshold logic and CLI wiring.
+
+``evaluate`` is pure, so the thresholds are pinned without running the
+actual benchmark; the CLI tests monkeypatch the measurement probe.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import perf_gate
+from repro.runner.perf_gate import (
+    REFERENCE_PR5_EVENTS_PER_SEC,
+    TARGET_SPEEDUP,
+    evaluate,
+    load_baseline,
+    main,
+)
+
+BASELINE = 2_800_000.0
+TARGET = REFERENCE_PR5_EVENTS_PER_SEC * TARGET_SPEEDUP
+
+
+class TestEvaluate:
+    def test_ok_above_baseline_and_target(self):
+        v = evaluate(BASELINE * 1.1, BASELINE)
+        assert v["status"] == "ok"
+        assert v["reasons"] == []
+
+    def test_small_dip_within_tolerance_is_ok(self):
+        # reference=0 silences the soft target: this pins the hard floor.
+        assert evaluate(BASELINE * 0.85, BASELINE,
+                        reference=0.0)["status"] == "ok"
+
+    def test_regression_beyond_20pct_fails(self):
+        v = evaluate(BASELINE * 0.79, BASELINE)
+        assert v["status"] == "fail"
+        assert "regressed" in v["reasons"][0]
+
+    def test_exactly_at_floor_is_ok(self):
+        assert evaluate(BASELINE * 0.80, BASELINE,
+                        reference=0.0)["status"] == "ok"
+
+    def test_below_3x_reference_warns_but_passes(self):
+        # Within 20% of baseline but under the overhaul's 3x target.
+        v = evaluate(TARGET * 0.9, TARGET * 0.95)
+        assert v["status"] == "warn"
+        assert "target" in v["reasons"][0]
+
+    def test_missing_baseline_uses_soft_target_only(self):
+        assert evaluate(TARGET * 0.5, None)["status"] == "warn"
+        assert evaluate(TARGET * 1.5, None)["status"] == "ok"
+
+    def test_custom_regression_threshold(self):
+        assert evaluate(BASELINE * 0.55, BASELINE, regression_threshold=0.5,
+                        reference=0.0)["status"] == "ok"
+        assert evaluate(BASELINE * 0.45, BASELINE, regression_threshold=0.5,
+                        reference=0.0)["status"] == "fail"
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.5])
+    def test_invalid_threshold_rejected(self, bad):
+        with pytest.raises(ValueError):
+            evaluate(1.0, 1.0, regression_threshold=bad)
+
+
+class TestLoadBaseline:
+    def test_reads_field(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"sim_events_per_sec": 1234.5}))
+        assert load_baseline(str(path)) == 1234.5
+
+    def test_null_or_absent_field_is_none(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"sim_events_per_sec": None}))
+        assert load_baseline(str(path)) is None
+        path.write_text(json.dumps({"benches": []}))
+        assert load_baseline(str(path)) is None
+
+
+class TestCli:
+    def _baseline_file(self, tmp_path, value):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"sim_events_per_sec": value}))
+        return str(path)
+
+    def test_pass_exit_zero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(perf_gate, "measure_sim_events_per_sec",
+                            lambda chain, repeats: TARGET * 1.2)
+        rc = main(["--baseline", self._baseline_file(tmp_path, TARGET * 1.1)])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_exit_nonzero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(perf_gate, "measure_sim_events_per_sec",
+                            lambda chain, repeats: BASELINE * 0.5)
+        rc = main(["--baseline", self._baseline_file(tmp_path, BASELINE)])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_warn_exit_zero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(perf_gate, "measure_sim_events_per_sec",
+                            lambda chain, repeats: TARGET * 0.9)
+        rc = main(["--baseline", self._baseline_file(tmp_path, TARGET * 0.95)])
+        assert rc == 0
+        assert "WARN" in capsys.readouterr().out
+
+    def test_missing_baseline_file_soft_gates(self, tmp_path, monkeypatch,
+                                              capsys):
+        monkeypatch.setattr(perf_gate, "measure_sim_events_per_sec",
+                            lambda chain, repeats: TARGET * 1.2)
+        rc = main(["--baseline", str(tmp_path / "absent.json")])
+        assert rc == 0
+        assert "no baseline" in capsys.readouterr().out

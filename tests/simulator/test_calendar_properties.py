@@ -1,0 +1,155 @@
+"""Property-based equivalence: calendar queue vs the reference heap.
+
+Hypothesis drives both engines through identical randomized workloads —
+schedules from callbacks, zero delays, same-tick ties, far-future
+events (forcing year-lap scans and the min-scan fallback), lazy
+cancellation and chunked runs — and requires the exact same dispatch
+sequence, clock and processed count.  The dispatch sequence is the
+total (time, seq) order, so any tie-break or bucket-boundary bug in
+the calendar shows up as a counterexample.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.simulator.engine import CalendarSimulator, Simulator  # noqa: E402
+
+#: One scripted action per scheduled event: which follow-up delays to
+#: schedule (empty: leaf event) and which earlier handle to cancel
+#: (None: no cancellation).  Delays include 0.0 (same-tick ties) and
+#: huge values (far outside the calendar's initial year).
+ACTIONS = st.lists(
+    st.tuples(
+        st.lists(
+            st.one_of(
+                st.just(0.0),
+                st.floats(min_value=0.0, max_value=0.02),
+                st.floats(min_value=0.0, max_value=20.0),
+                st.floats(min_value=1e5, max_value=1e6),
+            ),
+            max_size=3,
+        ),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=200)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+RUN_PLANS = st.lists(
+    st.tuples(
+        st.one_of(st.none(), st.floats(min_value=0.0, max_value=2e6)),
+        st.one_of(st.none(), st.integers(min_value=1, max_value=300)),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def execute(sim, actions, run_plan):
+    """Replay the scripted workload on ``sim``; return the full trace."""
+    log = []
+    handles = []
+    cursor = [0]
+
+    def fire(tag):
+        log.append((sim.now, tag))
+        delays, cancel_idx = actions[cursor[0] % len(actions)]
+        cursor[0] += 1
+        for d in delays:
+            handles.append(sim.schedule(d, fire, len(handles)))
+        if cancel_idx is not None and handles:
+            sim.cancel(handles[cancel_idx % len(handles)])
+
+    for i, _ in enumerate(actions):
+        handles.append(sim.schedule(i * 0.37 % 5.0, fire, 1000 + i))
+    for until, max_events in run_plan:
+        # Budgeted/bounded chunks exercise resume (the calendar pushes
+        # undispatched same-tick tails back into its buckets).  Every
+        # chunk gets an event budget: a feedback workload can schedule
+        # forever inside any time horizon.
+        budget = 400 if max_events is None else min(max_events, 400)
+        sim.run(until=until, max_events=budget)
+    return log, sim.now, sim.events_processed, sim.pending()
+
+
+@settings(max_examples=200, deadline=None)
+@given(actions=ACTIONS, run_plan=RUN_PLANS)
+def test_calendar_matches_heap_total_order(actions, run_plan):
+    ref = execute(Simulator(), actions, run_plan)
+    cal = execute(CalendarSimulator(), actions, run_plan)
+    assert cal[0] == ref[0], "dispatch (time, order) sequence diverged"
+    assert cal[1] == ref[1], "final clock diverged"
+    assert cal[2] == ref[2], "events_processed diverged"
+    assert cal[3] == ref[3], "pending count diverged"
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    times=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                   min_size=1, max_size=80),
+    cancel=st.sets(st.integers(min_value=0, max_value=79)),
+)
+def test_static_schedule_identical_order(times, cancel):
+    """Pure insert/cancel/drain — no feedback from callbacks."""
+    def run(sim):
+        log = []
+        handles = [sim.schedule(t, log.append, (t, i))
+                   for i, t in enumerate(times)]
+        for idx in cancel:
+            if idx < len(handles):
+                sim.cancel(handles[idx])
+        sim.run()
+        return log, sim.now, sim.events_processed
+
+    assert run(CalendarSimulator()) == run(Simulator())
+
+
+@settings(max_examples=50, deadline=None)
+@given(times=st.lists(st.sampled_from([0.0, 0.25, 0.5, 0.75]),
+                      min_size=2, max_size=40))
+def test_same_tick_ties_preserve_insertion_order(times):
+    """Heavily tied timestamps must drain in insertion order per tick."""
+    def run(sim):
+        log = []
+        for i, t in enumerate(times):
+            sim.schedule(t, log.append, (t, i))
+        sim.run()
+        return log
+
+    order = run(CalendarSimulator())
+    assert order == run(Simulator())
+    # Within each tick, the insertion index must be increasing.
+    for tick in set(times):
+        idxs = [i for t, i in order if t == tick]
+        assert idxs == sorted(idxs)
+
+
+def test_resize_keeps_pending_events():
+    """Growing past the resize threshold loses nothing and keeps order."""
+    sim = CalendarSimulator(nbuckets=4, width=0.001)
+    log = []
+    n = 300  # >> 2 * nbuckets: forces several adaptive doublings
+    for i in range(n):
+        sim.schedule((i * 7919 % n) * 0.01, log.append, i)
+    assert sim.pending() == n
+    sim.run()
+    assert len(log) == n
+    assert sorted(log) == list(range(n))
+
+
+def test_cancellation_is_lazy_and_excluded():
+    """Cancelled events neither fire nor advance the clock, on both."""
+    for make in (Simulator, CalendarSimulator):
+        sim = make()
+        log = []
+        keep = sim.schedule(1.0, log.append, "keep")
+        drop = sim.schedule(2.0, log.append, "drop")
+        sim.cancel(drop)
+        assert sim.pending() == 1
+        sim.run()
+        assert log == ["keep"]
+        assert sim.now == 1.0, f"{make.__name__} advanced on a ghost"
+        assert keep[2] is not None

@@ -26,7 +26,7 @@ class Sink:
         self.packets = []
 
     def handle_packet(self, packet):
-        self.packets.append(packet)
+        self.packets.append(packet.retain())
 
 
 class TestEcmp:

@@ -1,13 +1,31 @@
-"""Unit tests for the discrete-event engine."""
+"""Unit tests for the discrete-event engine.
+
+The behavioral suites run against *both* schedulers (the reference
+heap and the calendar queue) via the parametrized ``sim`` fixture —
+identical observable semantics is the contract that lets experiments
+select either one.
+"""
 
 import pytest
 
-from repro.simulator.engine import Simulator, Timer
+from repro.simulator.engine import (
+    SCHEDULER_ENV,
+    CalendarSimulator,
+    Simulator,
+    Timer,
+    cancel_event,
+    describe_event,
+    make_simulator,
+)
+
+
+@pytest.fixture(params=["heap", "calendar"])
+def sim(request):
+    return make_simulator(request.param)
 
 
 class TestScheduling:
-    def test_events_run_in_time_order(self):
-        sim = Simulator()
+    def test_events_run_in_time_order(self, sim):
         order = []
         sim.schedule(3.0, order.append, "c")
         sim.schedule(1.0, order.append, "a")
@@ -15,35 +33,30 @@ class TestScheduling:
         sim.run()
         assert order == ["a", "b", "c"]
 
-    def test_clock_advances_to_event_time(self):
-        sim = Simulator()
+    def test_clock_advances_to_event_time(self, sim):
         seen = []
         sim.schedule(2.5, lambda: seen.append(sim.now))
         sim.run()
         assert seen == [2.5]
 
-    def test_ties_break_by_insertion_order(self):
-        sim = Simulator()
+    def test_ties_break_by_insertion_order(self, sim):
         order = []
         for tag in range(5):
             sim.schedule(1.0, order.append, tag)
         sim.run()
         assert order == [0, 1, 2, 3, 4]
 
-    def test_schedule_in_past_rejected(self):
-        sim = Simulator()
+    def test_schedule_in_past_rejected(self, sim):
         with pytest.raises(ValueError):
             sim.schedule(-0.1, lambda: None)
 
-    def test_schedule_at_before_now_rejected(self):
-        sim = Simulator()
+    def test_schedule_at_before_now_rejected(self, sim):
         sim.schedule(5.0, lambda: None)
         sim.run()
         with pytest.raises(ValueError):
             sim.schedule_at(1.0, lambda: None)
 
-    def test_schedule_from_callback(self):
-        sim = Simulator()
+    def test_schedule_from_callback(self, sim):
         times = []
 
         def chain():
@@ -55,16 +68,14 @@ class TestScheduling:
         sim.run()
         assert times == [1.0, 2.0, 3.0]
 
-    def test_zero_delay_allowed(self):
-        sim = Simulator()
+    def test_zero_delay_allowed(self, sim):
         sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: None))
         sim.run()
         assert sim.now == 1.0
 
 
 class TestRunControl:
-    def test_run_until_stops_before_later_events(self):
-        sim = Simulator()
+    def test_run_until_stops_before_later_events(self, sim):
         fired = []
         sim.schedule(1.0, fired.append, 1)
         sim.schedule(10.0, fired.append, 2)
@@ -72,8 +83,7 @@ class TestRunControl:
         assert fired == [1]
         assert sim.now == 5.0
 
-    def test_run_until_then_resume(self):
-        sim = Simulator()
+    def test_run_until_then_resume(self, sim):
         fired = []
         sim.schedule(1.0, fired.append, 1)
         sim.schedule(10.0, fired.append, 2)
@@ -81,8 +91,7 @@ class TestRunControl:
         sim.run(until=20.0)
         assert fired == [1, 2]
 
-    def test_stop_from_callback(self):
-        sim = Simulator()
+    def test_stop_from_callback(self, sim):
         fired = []
         sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
         sim.schedule(2.0, fired.append, 2)
@@ -90,40 +99,41 @@ class TestRunControl:
         assert fired == [(1, None)] or fired[0] is not None
         assert len(fired) == 1
 
-    def test_max_events(self):
-        sim = Simulator()
+    def test_max_events(self, sim):
         fired = []
         for i in range(10):
             sim.schedule(float(i + 1), fired.append, i)
         sim.run(max_events=4)
         assert fired == [0, 1, 2, 3]
 
-    def test_cancelled_event_does_not_fire(self):
-        sim = Simulator()
+    def test_cancelled_event_does_not_fire(self, sim):
         fired = []
         ev = sim.schedule(1.0, fired.append, "x")
-        ev.cancel()
+        sim.cancel(ev)
         sim.run()
         assert fired == []
 
-    def test_events_processed_counter(self):
-        sim = Simulator()
+    def test_events_processed_counter(self, sim):
         for i in range(3):
             sim.schedule(float(i), lambda: None)
         sim.run()
         assert sim.events_processed == 3
 
-    def test_pending_excludes_cancelled(self):
-        sim = Simulator()
+    def test_pending_excludes_cancelled(self, sim):
         sim.schedule(1.0, lambda: None)
         ev = sim.schedule(2.0, lambda: None)
-        ev.cancel()
+        sim.cancel(ev)
         assert sim.pending() == 1
+
+    def test_metrics_names_scheduler(self, sim):
+        sim.schedule(1.0, lambda: None)
+        m = sim.metrics()
+        assert m["scheduler"] == sim.kind
+        assert m["heap_len"] == 1
 
 
 class TestTimer:
-    def test_fires_once(self):
-        sim = Simulator()
+    def test_fires_once(self, sim):
         fired = []
         timer = Timer(sim, lambda: fired.append(sim.now))
         timer.start(2.0)
@@ -131,8 +141,7 @@ class TestTimer:
         assert fired == [2.0]
         assert not timer.armed
 
-    def test_restart_supersedes(self):
-        sim = Simulator()
+    def test_restart_supersedes(self, sim):
         fired = []
         timer = Timer(sim, lambda: fired.append(sim.now))
         timer.start(2.0)
@@ -140,8 +149,7 @@ class TestTimer:
         sim.run()
         assert fired == [5.0]
 
-    def test_cancel(self):
-        sim = Simulator()
+    def test_cancel(self, sim):
         fired = []
         timer = Timer(sim, lambda: fired.append(1))
         timer.start(1.0)
@@ -149,22 +157,19 @@ class TestTimer:
         sim.run()
         assert fired == []
 
-    def test_double_start_raises(self):
-        sim = Simulator()
+    def test_double_start_raises(self, sim):
         timer = Timer(sim, lambda: None)
         timer.start(1.0)
         with pytest.raises(RuntimeError):
             timer.start(2.0)
 
-    def test_expiry_property(self):
-        sim = Simulator()
+    def test_expiry_property(self, sim):
         timer = Timer(sim, lambda: None)
         assert timer.expiry is None
         timer.start(3.0)
         assert timer.expiry == 3.0
 
-    def test_rearm_from_callback(self):
-        sim = Simulator()
+    def test_rearm_from_callback(self, sim):
         fired = []
         timer = Timer(sim, lambda: None)
 
@@ -177,3 +182,78 @@ class TestTimer:
         timer.start(1.0)
         sim.run()
         assert fired == [1.0, 2.0, 3.0]
+
+
+class TestFactory:
+    def test_default_is_heap(self, monkeypatch):
+        monkeypatch.delenv(SCHEDULER_ENV, raising=False)
+        assert isinstance(make_simulator(), Simulator)
+
+    def test_explicit_kinds(self):
+        assert isinstance(make_simulator("heap"), Simulator)
+        assert isinstance(make_simulator("calendar"), CalendarSimulator)
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(SCHEDULER_ENV, "calendar")
+        assert isinstance(make_simulator(), CalendarSimulator)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_simulator("splay-tree")
+
+
+class TestCalendarInternals:
+    """Calendar-specific mechanics the shared suites don't pin down."""
+
+    def test_adaptive_resize_preserves_all_events(self):
+        sim = CalendarSimulator(nbuckets=4, width=0.01)
+        fired = []
+        for i in range(100):  # far beyond 2 * nbuckets
+            sim.schedule(i * 0.5, fired.append, i)
+        assert sim._nb > 4, "occupancy should have forced a resize"
+        sim.run()
+        assert fired == list(range(100))
+
+    def test_far_future_event_found_by_min_scan(self):
+        sim = CalendarSimulator(nbuckets=8, width=0.001)
+        fired = []
+        sim.schedule(1e6, fired.append, "far")  # many laps ahead
+        sim.schedule(0.5, fired.append, "near")
+        sim.run()
+        assert fired == ["near", "far"]
+        assert sim.now == 1e6
+
+    def test_resume_after_budget_stop_keeps_order(self):
+        # run(until=...) advances the clock on a budget stop; leftover
+        # earlier events must still fire first on resume (regression
+        # for the cursor-ahead-of-pending bug).
+        sim = CalendarSimulator()
+        fired = []
+        for i in range(6):
+            sim.schedule(0.0, fired.append, i)
+        sim.schedule(0.015625, fired.append, "late")
+        sim.run(until=1.0, max_events=3)
+        assert sim.now == 1.0
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4, 5, "late"]
+
+
+class TestEventHandles:
+    def test_cancel_event_function(self, sim):
+        fired = []
+        ev = sim.schedule(1.0, fired.append, "x")
+        cancel_event(ev)
+        sim.run()
+        assert fired == []
+
+    def test_describe_live_event(self, sim):
+        ev = sim.schedule(1.5, print, "hello")
+        text = describe_event(ev)
+        assert "1.5" in text and "print" in text and "hello" in text
+
+    def test_describe_cancelled_event_drops_args(self, sim):
+        ev = sim.schedule(1.0, print, "secret-arg")
+        sim.cancel(ev)
+        text = describe_event(ev)
+        assert "secret-arg" not in text
+        assert "cancelled" in text

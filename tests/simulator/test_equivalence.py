@@ -1,0 +1,98 @@
+"""Scheduler/pool behavior-equivalence harness (the hot-path lockdown).
+
+The simulator overhaul (calendar-queue scheduler, packet pooling,
+batched loss draws) is only acceptable if it is *invisible*: every
+experiment must produce a bit-identical result digest no matter which
+scheduler runs it and whether packets are pooled.  These tests run
+real registry experiments under the full configuration matrix
+
+    (heap, calendar) x (pooled, unpooled)
+
+and assert digest equality against the heap+pooled reference.  A
+representative subset runs in tier-1; the whole registry runs under
+``-m slow``.
+
+The scheduler is selected the way production runs select it — through
+``PGMCC_SIM_SCHEDULER``, read by ``make_simulator`` when each
+experiment constructs its ``Network`` — so the harness exercises the
+real wiring, not a test-only hook.
+"""
+
+import pytest
+
+from repro.experiments.run_all import REGISTRY
+from repro.simulator import POOL, set_packet_pooling
+from repro.simulator.engine import SCHEDULER_ENV
+
+#: Scale small enough to keep tier-1 fast, large enough that every
+#: experiment schedules thousands of events through queues, loss
+#: models, timers and fault plans.
+SCALE = 0.05
+
+#: Fast, structurally diverse subset for tier-1: plain fairness,
+#: TCP competition, NE suppression, scripted faults, ECMP reordering
+#: and bursty (Gilbert) loss.
+REPRESENTATIVE = ("EXP-F3", "EXP-F4", "EXP-F6", "EXP-CHAOS",
+                  "EXP-MPATH", "ABL-BURST")
+
+MATRIX = [("heap", True), ("heap", False),
+          ("calendar", True), ("calendar", False)]
+
+_SPECS = {spec.id: spec for spec in REGISTRY}
+
+
+@pytest.fixture(autouse=True)
+def _restore_engine_config(monkeypatch):
+    """Every test leaves the process on default scheduler + pooling."""
+    monkeypatch.delenv(SCHEDULER_ENV, raising=False)
+    yield
+    set_packet_pooling(True)
+
+
+def run_config(monkeypatch, spec, scheduler, pooled):
+    monkeypatch.setenv(SCHEDULER_ENV, scheduler)
+    set_packet_pooling(pooled)
+    before = POOL.double_release
+    result = spec.run(SCALE)
+    assert POOL.double_release == before, (
+        f"{spec.id} under ({scheduler}, pooled={pooled}) "
+        "double-released a packet"
+    )
+    return result.digest()
+
+
+def assert_matrix_equivalent(monkeypatch, spec):
+    reference = run_config(monkeypatch, spec, "heap", True)
+    for scheduler, pooled in MATRIX[1:]:
+        digest = run_config(monkeypatch, spec, scheduler, pooled)
+        assert digest == reference, (
+            f"{spec.id}: ({scheduler}, pooled={pooled}) diverged from "
+            f"the heap+pooled reference"
+        )
+
+
+@pytest.mark.parametrize("exp_id", REPRESENTATIVE)
+def test_representative_experiments_equivalent(monkeypatch, exp_id):
+    assert_matrix_equivalent(monkeypatch, _SPECS[exp_id])
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("exp_id", sorted(_SPECS))
+def test_full_registry_equivalent(monkeypatch, exp_id):
+    assert_matrix_equivalent(monkeypatch, _SPECS[exp_id])
+
+
+def test_representative_subset_is_current():
+    """Every representative id still exists in the registry."""
+    missing = [i for i in REPRESENTATIVE if i not in _SPECS]
+    assert not missing, f"stale representative ids: {missing}"
+
+
+def test_scheduler_env_reaches_network(monkeypatch):
+    """The env knob drives Network construction end to end."""
+    from repro.simulator import Network
+
+    monkeypatch.setenv(SCHEDULER_ENV, "calendar")
+    assert Network(seed=1).sim.kind == "calendar"
+    monkeypatch.setenv(SCHEDULER_ENV, "heap")
+    assert Network(seed=1).sim.kind == "heap"

@@ -13,7 +13,7 @@ class Sink:
         self.packets = []
 
     def handle_packet(self, packet):
-        self.packets.append(packet)
+        self.packets.append(packet.retain())
 
 
 class TestAddressing:
