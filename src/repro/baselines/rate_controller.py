@@ -26,6 +26,12 @@ once per epoch ("1 second or more" per the paper).  Receivers are the
 ordinary PGM receivers in report-only mode; the controllers share
 pgmcc's wire formats and differ only in the control discipline — which
 is the comparison the paper draws.
+
+For the same equation family run *through* pgmcc's session machinery
+(acker election, ACK clocking, guard, telemetry) instead of as a
+standalone sender, see the registered ``"tfrc"`` controller backend in
+:mod:`repro.core.controllers` (docs/CONTROLLERS.md); EXP-ARENA ranks
+it against the window backends head-to-head.
 """
 
 from __future__ import annotations

@@ -11,10 +11,19 @@ Public surface::
         WindowController, AckTracker, AckerElection,
         SenderController, CcConfig,
         TokenRateEstimator, AdaptiveSource, QualityLevel,
+        Controller, register_controller, make_controller, controller_names,
     )
 """
 
 from .acker import DEFAULT_C, AckerElection, AckerSwitch, throughput_metric
+from .controller import (
+    Controller,
+    PgmccController,
+    WindowBackend,
+    controller_names,
+    make_controller,
+    register_controller,
+)
 from .acktrack import (
     BITMAP_BITS,
     AckOutcome,
@@ -38,6 +47,12 @@ from .window import (
 )
 
 __all__ = [
+    "Controller",
+    "PgmccController",
+    "WindowBackend",
+    "controller_names",
+    "make_controller",
+    "register_controller",
     "DEFAULT_C",
     "AckerElection",
     "AckerSwitch",

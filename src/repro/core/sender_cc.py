@@ -16,6 +16,14 @@ sender drives:
 
 The controller is transport-agnostic: the PGM sender (or any other
 protocol) owns packet formats and retransmissions and calls in here.
+
+Paper map: §3.4 (window/token rules — delegated to the pluggable
+backend, :mod:`repro.core.controller`; the default ``"pgmcc"`` backend
+is :class:`~repro.core.window.WindowController` verbatim), §3.5 (acker
+election via :mod:`repro.core.acker`), §3.6 (session startup, fake-NAK
+elicitation after consecutive stalls, acker switch/eviction), §3
+footnote on time-RTT "for determining timeouts" (the stall timer's
+RTO estimate below).
 """
 
 from __future__ import annotations
@@ -26,9 +34,10 @@ from typing import Callable, Optional
 from ..simulator.engine import Simulator, Timer
 from .acker import DEFAULT_C, AckerElection
 from .acktrack import AckTracker
+from .controller import make_controller
 from .reports import ReceiverReport
 from .rtt import RttSampler, packet_rtt
-from .window import DEFAULT_DUPACK_THRESHOLD, DEFAULT_SSTHRESH, WindowController
+from .window import DEFAULT_DUPACK_THRESHOLD, DEFAULT_SSTHRESH
 
 #: Stall timeout bounds (seconds).  The timeout adapts to the measured
 #: time-RTT (which pgmcc uses "for determining timeouts", §3).
@@ -54,6 +63,13 @@ class CcConfig:
     adaptive_ssthresh: bool = False
     max_tokens: Optional[float] = None
     enabled: bool = True  # dynamic disable = plain PGM sender (§3.1)
+    #: registered controller backend driving the send gate (see
+    #: repro.core.controller; "pgmcc" is the paper's window machine).
+    controller: str = "pgmcc"
+    #: backend-specific parameters as a tuple of (key, value) pairs
+    #: (tuple, not dict, so CcConfig stays hashable/picklable for the
+    #: runner's cache keys), e.g. (("beta", 0.8),) for "aimd".
+    controller_params: tuple = ()
 
 
 @dataclass
@@ -78,11 +94,16 @@ class SenderController:
     ):
         self.sim = sim
         self.config = config or CcConfig()
-        self.window = WindowController(
-            ssthresh=self.config.ssthresh,
-            max_tokens=self.config.max_tokens,
-            adaptive_ssthresh=self.config.adaptive_ssthresh,
+        #: the pluggable congestion-controller backend (repro.core.controller)
+        self.backend = make_controller(
+            self.config.controller,
+            self.config,
+            **dict(self.config.controller_params),
         )
+        #: the backend's observable window view (a WindowController for
+        #: window backends, an equivalent view for rate backends) —
+        #: telemetry and the invariant checker sample/wrap this.
+        self.window = self.backend.window
         self.tracker = AckTracker(self.config.dupack_threshold)
         self.election = AckerElection(
             c=self.config.c, rtt_mode=self.config.rtt_mode, model=self.config.model
@@ -112,7 +133,15 @@ class SenderController:
     def can_send(self) -> bool:
         if not self.config.enabled:
             return True
-        return self.window.can_send
+        return self.backend.can_send
+
+    def send_delay(self) -> Optional[float]:
+        """When may the next packet go out?  ``0.0`` = now, a positive
+        float = rate-paced (ask again in that many seconds), ``None`` =
+        blocked until feedback reopens the window."""
+        if not self.config.enabled:
+            return 0.0
+        return self.backend.send_delay(self.sim.now)
 
     def register_data(self, seq: int) -> bool:
         """Account for an ODATA transmission; returns whether the
@@ -124,7 +153,7 @@ class SenderController:
         self.elicit_nak = False
         if not self.config.enabled:
             return elicit
-        self.window.on_transmit()
+        self.backend.on_send(seq, self.sim.now)
         self.tracker.on_data_sent(seq)
         self._send_times[seq] = self.sim.now
         if not self._stall_timer.armed:
@@ -144,13 +173,13 @@ class SenderController:
             return False
         had_acker = self.election.current is not None
         switched = self.election.on_nak_report(report, self.last_tx_seq, self.sim.now)
-        if switched and not had_acker and not self.window.can_send:
+        if switched and not had_acker and not self.backend.can_send:
             # Initial election (session start or post-stall): packets
             # already in flight were sent without an acker id and will
-            # never be directly ACKed, so grant a token to restart the
-            # ACK clock immediately (§3.6) instead of waiting for the
-            # stall timer.
-            self.window.tokens = 1.0
+            # never be directly ACKed, so kick the backend to restart
+            # the ACK clock immediately (§3.6) instead of waiting for
+            # the stall timer.
+            self.backend.kick()
             if self.on_tokens is not None:
                 self.on_tokens()
         return switched
@@ -169,23 +198,29 @@ class SenderController:
         outcome = self.tracker.on_ack(ack_seq, bitmap)
         self._update_time_rtt(outcome.newly_acked)
         self.election.on_ack_report(report, self.last_tx_seq, self.sim.now)
+        self.backend.observe_report(report, self._srtt, self.sim.now)
 
         in_flight = packet_rtt(self.last_tx_seq, report.rxw_lead, floor=0)
         reacted = False
         for seq in outcome.losses:
-            if self.window.on_loss(seq, self.last_tx_seq, in_flight=in_flight):
+            if self.backend.on_congestion(seq, self.last_tx_seq, in_flight, self.sim.now):
                 reacted = True
-        had_tokens = self.window.can_send
+        had_tokens = self.backend.can_send
         for _ in outcome.newly_acked:
-            self.window.on_ack()
-        if self.tracker.outstanding_count == 0 and not self.window.can_send:
+            self.backend.on_ack(self.sim.now, in_flight)
+        if (
+            self.backend.kind == "window"
+            and self.tracker.outstanding_count == 0
+            and not self.backend.can_send
+        ):
             # Dead ACK clock: the ignore-after-halving rule consumed
             # the last in-flight ACK.  With nothing outstanding no ACK
             # can ever come, so restart the clock now instead of
             # waiting for the stall timer (same effect, no idle gap).
-            self.window.tokens = 1.0
-            self.window.ignore_acks = 0
-        if self.window.can_send and not had_tokens and self.on_tokens is not None:
+            # Rate backends regain credit with time, so they never
+            # deadlock here and are left alone.
+            self.backend.kick(clear_ignore=True)
+        if self.backend.can_send and not had_tokens and self.on_tokens is not None:
             self.on_tokens()
         return AckDigest(outcome.newly_acked, outcome.losses, reacted, in_flight)
 
@@ -221,12 +256,16 @@ class SenderController:
     def _on_stall_timeout(self) -> None:
         if self.closed:
             return
-        if self.tracker.outstanding_count == 0 and self.window.can_send:
-            # Nothing in flight and tokens available: idle, not stalled.
+        if self.tracker.outstanding_count == 0 and (
+            self.backend.kind == "rate" or self.backend.can_send
+        ):
+            # Nothing in flight and sending possible (window backends:
+            # tokens available; rate backends: pacing will grant credit
+            # with time): idle, not stalled.
             return
         self.stalls += 1
         self._consecutive_stalls += 1
-        self.window.on_restart()
+        self.backend.on_timeout(self.sim.now)
         self.tracker.reset()
         self._send_times.clear()
         if self._consecutive_stalls >= ELICIT_AFTER_STALLS:
@@ -254,8 +293,8 @@ class SenderController:
         self.election.clear()
         self.elicit_nak = True
         self.acker_evictions += 1
-        if not self.window.can_send:
-            self.window.tokens = max(self.window.tokens, 1.0)
+        if not self.backend.can_send:
+            self.backend.kick()
             if self.on_tokens is not None:
                 self.on_tokens()
         return evicted

@@ -76,6 +76,8 @@ REGISTRY: tuple[ExperimentSpec, ...] = (
                    description="fairness over the 4.3 configuration grid"),
     ExperimentSpec("EXP-SCALE", "repro.experiments.scalability", scale_factor=0.5,
                    description="scalability up to 200 receivers"),
+    ExperimentSpec("EXP-ARENA", "repro.experiments.arena", scale_factor=0.5,
+                   description="controller arena: pgmcc vs jain/aimd/tfrc"),
 )
 
 #: Backward-compatible view: ``[(exp_id, fn(scale) -> result), ...]``.
@@ -90,13 +92,17 @@ def specs_by_id(ids=None) -> list[ExperimentSpec]:
     if not ids:
         return list(REGISTRY)
     by_id = {spec.id: spec for spec in REGISTRY}
-    unknown = [i for i in ids if i not in by_id]
+    # Ids are normalized case- and separator-insensitively, so the
+    # shell-friendly spellings work: exp_arena == exp-arena == EXP-ARENA.
+    canonical = {key.upper().replace("_", "-"): key for key in by_id}
+    resolved = [canonical.get(str(i).upper().replace("_", "-"), i) for i in ids]
+    unknown = [i for i in resolved if i not in by_id]
     if unknown:
         raise KeyError(
             f"unknown experiment id(s): {', '.join(unknown)}; "
             f"known ids: {', '.join(by_id)}"
         )
-    return [by_id[i] for i in ids]
+    return [by_id[i] for i in resolved]
 
 
 def main(scale: float = 1.0) -> int:

@@ -199,10 +199,20 @@ class PgmSender:
     # -- transmit pump -----------------------------------------------------------
 
     def _pump(self) -> None:
-        """Send ODATA while tokens, rate budget and app data allow."""
+        """Send ODATA while the controller, rate budget and app data
+        allow.  ``controller.send_delay()`` distinguishes window
+        backends (0.0 = token available, None = blocked until feedback)
+        from rate backends (a positive delay = paced; re-arm the pump
+        timer and come back)."""
         if not self._started or self._closed:
             return
-        while self.controller.can_send and self.source.has_data():
+        while self.source.has_data():
+            cc_delay = self.controller.send_delay()
+            if cc_delay is None:
+                return  # window-blocked: feedback will wake the pump
+            if cc_delay > 0:
+                self._pump_timer.restart(cc_delay)
+                return
             probe = OData(
                 self.tsi,
                 self.next_seq,

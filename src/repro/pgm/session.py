@@ -65,6 +65,14 @@ class SessionConfig:
     group: Optional[str] = None
     #: pgmcc configuration; ``CcConfig(enabled=False)`` gives plain PGM
     cc: Optional[CcConfig] = None
+    #: congestion-controller backend by registry name ("pgmcc", "aimd",
+    #: "jain", "tfrc", or anything registered via
+    #: :func:`repro.core.controller.register_controller`); None keeps
+    #: whatever ``cc.controller`` says (the pgmcc default)
+    controller: Optional[str] = None
+    #: backend-specific parameters (dict, e.g. {"beta": 0.8}); folded
+    #: into ``cc.controller_params``
+    controller_params: Optional[dict] = None
     #: application data source (default: infinite bulk)
     source: Optional[DataSource] = None
     #: §3.9 unreliable mode when False (reports, no repairs)
@@ -202,6 +210,8 @@ class PgmSession:
             "acker_evictions": controller.acker_evictions,
             "stalls": controller.stalls,
             "window": controller.window.w,
+            "controller": controller.backend.name,
+            "controller_state": controller.backend.state_summary(),
             "malformed_dropped": self.malformed_dropped(),
             "unrecoverable_data_loss": sum(
                 rx.unrecoverable_data_loss for rx in self.receivers
@@ -273,6 +283,21 @@ def create_session(
         net.use_scheduler(cfg.scheduler)
     if cfg.packet_pool is not None:
         set_packet_pooling(cfg.packet_pool)
+
+    # Controller selection folds into CcConfig so the sender (and the
+    # runner's cache keys, which hash the config) see one source of truth.
+    if cfg.controller is not None or cfg.controller_params is not None:
+        cc = cfg.cc if cfg.cc is not None else CcConfig()
+        cc = dataclasses.replace(
+            cc,
+            controller=cfg.controller if cfg.controller is not None else cc.controller,
+            controller_params=(
+                tuple(sorted(cfg.controller_params.items()))
+                if cfg.controller_params is not None
+                else cc.controller_params
+            ),
+        )
+        cfg = dataclasses.replace(cfg, cc=cc)
 
     tsi = cfg.tsi if cfg.tsi is not None else net.next_tsi()
     group = cfg.group if cfg.group is not None else f"mc:pgm{tsi}"

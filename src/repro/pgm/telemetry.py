@@ -85,7 +85,8 @@ def bind_session_metrics(session: "PgmSession",
     receivers = session.receivers  # live list: late joins included
 
     registry.meta.update(tsi=session.tsi, group=session.group,
-                         sender=sender.host.name)
+                         sender=sender.host.name,
+                         controller=controller.backend.name)
 
     bind = registry.bind
     bind("sender.odata_sent", lambda: sender.odata_sent)

@@ -39,7 +39,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "content-addressed result caching.")
     parser.add_argument("experiments", nargs="*", metavar="EXP-ID",
                         help="subset of experiment ids (default: all; "
-                             "see --list)")
+                             "see --list); a leading 'run' token and "
+                             "lowercase/underscore id spellings are accepted")
     parser.add_argument("-j", "--jobs", default="1",
                         help="worker processes, or 'auto' for one per core "
                              "(default: 1)")
@@ -88,8 +89,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.list:
         list_registry()
         return 0
+    experiments = args.experiments
+    if experiments and experiments[0] == "run":
+        # ``python -m repro.runner run EXP-ID ...``: tolerate the
+        # subcommand-style spelling (common muscle memory from other
+        # runners); ids themselves are normalized in specs_by_id.
+        experiments = experiments[1:]
     try:
-        specs = specs_by_id(args.experiments)
+        specs = specs_by_id(experiments)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2

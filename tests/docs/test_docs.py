@@ -1,0 +1,83 @@
+"""The docs CI, as tier-1 tests: links resolve, doc examples execute.
+
+Runs the same checks as ``python tools/check_docs.py`` (the CI docs
+job), so a broken anchor or a drifted code example fails the ordinary
+test suite too.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_doc_set_is_nonempty():
+    docs = list(check_docs.iter_markdown(ROOT))
+    names = {d.name for d in docs}
+    assert {"README.md", "DESIGN.md", "EXPERIMENTS.md",
+            "API.md", "CONTROLLERS.md"} <= names
+
+
+def test_no_broken_links_or_anchors():
+    errors = check_docs.check_links(ROOT)
+    assert errors == []
+
+
+def test_docs_actually_contain_links():
+    """Guard against the checker silently parsing nothing."""
+    total = sum(
+        1
+        for doc in check_docs.iter_markdown(ROOT)
+        for _ in check_docs.links_of(doc)
+    )
+    assert total >= 10
+
+
+def test_controllers_examples_execute():
+    fences = list(check_docs.python_fences(ROOT / "docs" / "CONTROLLERS.md"))
+    assert len(fences) >= 3, "walkthrough examples went missing"
+    errors = check_docs.run_doc_examples(ROOT)
+    assert errors == []
+
+
+def test_example_runner_restores_registry():
+    """The walkthrough registers a demo backend; the runner must not
+    leak it into this process (the arena iterates the registry)."""
+    from repro.core.controller import controller_names
+
+    before = controller_names()
+    check_docs.run_doc_examples(ROOT)
+    assert controller_names() == before
+
+
+@pytest.mark.parametrize(
+    ("heading", "slug"),
+    [
+        ("EXP-ARENA — controller head-to-head",
+         "exp-arena--controller-head-to-head"),
+        ("repro.core — the pgmcc engine", "reprocore--the-pgmcc-engine"),
+        ("§4.3's configuration grid", "43s-configuration-grid"),
+        ("`tfrc` — equation-based rate controller",
+         "tfrc--equation-based-rate-controller"),
+        ("Fig. 7: 100 receivers, uncorrelated 1 % loss",
+         "fig-7-100-receivers-uncorrelated-1--loss"),
+    ],
+)
+def test_slugify_matches_github(heading, slug):
+    assert check_docs.slugify(heading) == slug
+
+
+def test_cli_exit_status():
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_docs.py"), "--links"],
+        cwd=ROOT, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr + proc.stdout
+    assert "docs check: ok" in proc.stdout
