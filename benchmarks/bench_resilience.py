@@ -1,0 +1,19 @@
+"""EXP-RESILIENCE — partition/blackhole/acker-crash recovery matrix
+with time-to-recover SLO oracles and the liveness-watchdog-vs-stall
+baseline comparison."""
+
+from conftest import BENCH_SCALE
+
+from repro.experiments import resilience
+
+
+def test_bench_resilience(cached_experiment):
+    result = cached_experiment(resilience.run, scale=max(BENCH_SCALE, 0.5))
+    # every (controller, scenario) cell recovered, within its SLO tier
+    assert result.metrics["all_recovered"] is True
+    assert result.metrics["all_slo_ok"] is True
+    # the strict invariant checker stayed silent through every fault
+    assert result.metrics["total_invariant_violations"] == 0
+    # the headline claim: the watchdog beats the generic stall timer
+    assert result.metrics["watchdog_faster"] is True
+    assert result.metrics["ttr_improvement_s"] > 0

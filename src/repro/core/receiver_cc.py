@@ -116,6 +116,23 @@ class ReceiverController:
         # was already counted as lost when the gap opened.
         return outcome
 
+    def resync(self, new_lead: int) -> int:
+        """Jump the receive window forward to ``new_lead`` (rejoin at
+        the live edge after a partition outlived the sender's repair
+        horizon).  The skipped span is *not* fed to the loss filter —
+        like the first-packet anchor above, data the session can no
+        longer repair is outside the window, not congestion signal —
+        so the post-heal loss report reflects current path state, not
+        the outage.  Returns the number of sequences skipped over."""
+        if new_lead <= self.rxw_lead:
+            return 0
+        old_lead = self.rxw_lead
+        skipped = new_lead - old_lead - 1 if old_lead >= 0 else 0
+        skipped -= sum(1 for s in self._received if old_lead < s < new_lead)
+        self.rxw_lead = new_lead
+        self._maybe_prune()
+        return max(skipped, 0)
+
     def _maybe_prune(self) -> None:
         floor = self.rxw_lead - _PRUNE_MARGIN
         if floor - self._prune_floor < _PRUNE_MARGIN:

@@ -70,6 +70,13 @@ class CcConfig:
     #: (tuple, not dict, so CcConfig stays hashable/picklable for the
     #: runner's cache keys), e.g. (("beta", 0.8),) for "aimd".
     controller_params: tuple = ()
+    #: enable the acker-liveness watchdog (repro.pgm.liveness): faster
+    #: dead-acker detection than the generic stall timer, plus an
+    #: explicit degraded mode under total feedback loss.
+    liveness: bool = False
+    #: LivenessConfig overrides as (key, value) pairs (tuple for the
+    #: same hashability reason as controller_params).
+    liveness_params: tuple = ()
 
 
 @dataclass
@@ -123,9 +130,15 @@ class SenderController:
         self._consecutive_stalls = 0
         self.closed = False
         self.stalls = 0
+        #: every W=T=1 restart, stall-timer or watchdog driven — the
+        #: invariant checker keys its in-flight ledger resync on this.
+        self.restarts = 0
         self.acks_seen = 0
         self.naks_seen = 0
         self.acker_evictions = 0
+        #: optional acker-liveness watchdog (repro.pgm.liveness),
+        #: attached by the transport via attach_watchdog().
+        self.watchdog = None
 
     # -- transmit path -----------------------------------------------------
 
@@ -158,6 +171,8 @@ class SenderController:
         self._send_times[seq] = self.sim.now
         if not self._stall_timer.armed:
             self._stall_timer.start(self._stall_timeout())
+        if self.watchdog is not None:
+            self.watchdog.note_data_sent()
         return elicit
 
     @property
@@ -171,6 +186,8 @@ class SenderController:
         self.naks_seen += 1
         if not self.config.enabled:
             return False
+        if self.watchdog is not None:
+            self.watchdog.note_nak()
         had_acker = self.election.current is not None
         switched = self.election.on_nak_report(report, self.last_tx_seq, self.sim.now)
         if switched and not had_acker and not self.backend.can_send:
@@ -194,6 +211,8 @@ class SenderController:
         self._consecutive_stalls = 0
         if not self.closed:
             self._stall_timer.restart(self._stall_timeout())
+        if self.watchdog is not None:
+            self.watchdog.note_ack()
 
         outcome = self.tracker.on_ack(ack_seq, bitmap)
         self._update_time_rtt(outcome.newly_acked)
@@ -244,10 +263,19 @@ class SenderController:
         """Smoothed time-domain RTT (used only for timeouts)."""
         return self._srtt
 
-    def _stall_timeout(self) -> float:
+    @property
+    def rto(self) -> Optional[float]:
+        """The RFC-style retransmission timeout estimate
+        (``srtt + 4 * rttvar``), or ``None`` before the first sample.
+        Shared by the stall timer and the liveness watchdog."""
         if self._srtt is None:
+            return None
+        return self._srtt + 4.0 * self._rttvar
+
+    def _stall_timeout(self) -> float:
+        rto = self.rto
+        if rto is None:
             return MAX_STALL_TIMEOUT / 4.0
-        rto = self._srtt + 4.0 * self._rttvar
         backoff = 2.0 ** min(self._consecutive_stalls, 3)
         return min(MAX_STALL_TIMEOUT, max(MIN_STALL_TIMEOUT, 2.0 * rto) * backoff)
 
@@ -263,7 +291,15 @@ class SenderController:
             # tokens available; rate backends: pacing will grant credit
             # with time): idle, not stalled.
             return
+        if self.watchdog is not None and self.watchdog.degraded:
+            # The liveness watchdog owns recovery in degraded mode: it
+            # already restarted at W=T=1 and is probing at the rate
+            # floor.  Oscillating through extra stall restarts here
+            # would reset its pacing, so just keep the timer armed.
+            self._stall_timer.restart(self._stall_timeout())
+            return
         self.stalls += 1
+        self.restarts += 1
         self._consecutive_stalls += 1
         self.backend.on_timeout(self.sim.now)
         self.tracker.reset()
@@ -299,10 +335,49 @@ class SenderController:
                 self.on_tokens()
         return evicted
 
+    def attach_watchdog(self, watchdog) -> None:
+        """Wire in the acker-liveness watchdog (repro.pgm.liveness).
+        The controller only calls its ``note_data_sent`` / ``note_ack``
+        / ``note_nak`` hooks and reads its ``degraded`` flag, so any
+        object with that surface works."""
+        self.watchdog = watchdog
+
+    def demote_acker(self) -> Optional[str]:
+        """Unseat an acker presumed *dead* (liveness watchdog): clear
+        the election, mark the next ODATA to elicit fresh fake NAKs
+        (§3.6) and keep the session breathing if the window is blocked.
+        Same mechanics as :meth:`evict_acker` but not counted as a
+        guard eviction — the receiver is suspected unreachable, not
+        misbehaving.  Returns the demoted receiver id (or None)."""
+        demoted = self.election.current
+        self.election.clear()
+        self.elicit_nak = True
+        if not self.backend.can_send:
+            self.backend.kick()
+            if self.on_tokens is not None:
+                self.on_tokens()
+        return demoted
+
+    def degraded_restart(self) -> None:
+        """Watchdog-driven restart at ``W = T = 1`` on entering
+        degraded mode: one controlled reset instead of the stall
+        timer's backoff oscillation.  Counted in :attr:`restarts` so
+        the invariant checker resyncs its in-flight ledger."""
+        self.restarts += 1
+        self.backend.on_timeout(self.sim.now)
+        self.tracker.reset()
+        self._send_times.clear()
+        self.election.clear()
+        self.elicit_nak = True
+        if self.on_tokens is not None:
+            self.on_tokens()
+
     def close(self) -> None:
         """Stop timers (end of session)."""
         self.closed = True
         self._stall_timer.cancel()
+        if self.watchdog is not None:
+            self.watchdog.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -78,6 +78,10 @@ REGISTRY: tuple[ExperimentSpec, ...] = (
                    description="scalability up to 200 receivers"),
     ExperimentSpec("EXP-ARENA", "repro.experiments.arena", scale_factor=0.5,
                    description="controller arena: pgmcc vs jain/aimd/tfrc"),
+    ExperimentSpec("EXP-RESILIENCE", "repro.experiments.resilience",
+                   scale_factor=0.5,
+                   description="partition/blackhole/acker-crash recovery "
+                               "matrix with TTR SLO"),
 )
 
 #: Backward-compatible view: ``[(exp_id, fn(scale) -> result), ...]``.

@@ -13,6 +13,7 @@ from . import constants
 from .fec import FecAssembler, FecPayload, FecSource, attach_fec_receiver
 from .guard import FeedbackGuard, GuardConfig, GuardVerdict
 from .invariants import InvariantChecker, InvariantViolation, Violation
+from .liveness import LivenessConfig, LivenessWatchdog
 from .misbehavior import Misbehavior, make_behavior
 from .network_element import PgmNetworkElement
 from .packets import Ack, Nak, Ncf, OData, PgmMessage, RData, Spm, decode
@@ -38,6 +39,8 @@ __all__ = [
     "InvariantChecker",
     "InvariantViolation",
     "Violation",
+    "LivenessConfig",
+    "LivenessWatchdog",
     "FecAssembler",
     "FecPayload",
     "FecSource",

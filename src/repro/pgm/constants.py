@@ -58,6 +58,10 @@ NAK_MAX_RETRIES = 10
 SPM_IVL = 0.500
 #: NE per-sequence NAK state lifetime (suppression window).
 NE_STATE_LIFETIME = 1.0
+#: how long after forwarding an RDATA a repaired NE entry still
+#: eliminates duplicate NAKs; a re-NAK later than this refreshes the
+#: entry instead (the repair evidently died downstream).
+NE_REPAIR_LINGER = 0.25
 
 #: default sender transmit-window capacity, in packets, for repairs.
 TX_WINDOW_PACKETS = 8192

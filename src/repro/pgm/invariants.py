@@ -105,7 +105,7 @@ class InvariantChecker:
         self._tick_event = None
         # independent in-flight ledger for token-accounting
         self._in_flight = 0
-        self._stalls_seen = 0
+        self._restarts_seen = 0
         self._last_reaction_recovery: Optional[int] = None
         #: >0 while inside controller feedback processing: the token
         #: grant -> pump path re-enters register_data before the ACK
@@ -122,7 +122,7 @@ class InvariantChecker:
         self._attached = True
         controller = self.session.sender.controller
         self._in_flight = controller.tracker.outstanding_count
-        self._stalls_seen = controller.stalls
+        self._restarts_seen = controller.restarts
         self._wrap(controller, "register_data", self._wrap_register_data)
         self._wrap(controller, "on_ack", self._wrap_on_ack)
         self._wrap(controller, "on_nak", self._wrap_on_nak)
@@ -186,9 +186,11 @@ class InvariantChecker:
         setattr(owner, name, factory(original_bound))
 
     def _resync_after_stall(self, controller) -> None:
-        if controller.stalls != self._stalls_seen:
-            # Stall restart wiped the tracker; realign the ledger.
-            self._stalls_seen = controller.stalls
+        # Keyed on ``restarts`` (stall restarts + watchdog degraded
+        # restarts): any W=T=1 restart wipes the tracker, so the
+        # ledger realigns regardless of which machinery fired it.
+        if controller.restarts != self._restarts_seen:
+            self._restarts_seen = controller.restarts
             self._in_flight = controller.tracker.outstanding_count
 
     # wrapper factories ----------------------------------------------------
@@ -357,6 +359,7 @@ class InvariantChecker:
                         f"{link.name}: sent={link.sent} dup={link.fault_duplicates} "
                         f"delivered={link.delivered} loss={link.random_drops} "
                         f"corrupt={link.corrupt_drops} fault={link.fault_drops} "
+                        f"filter={link.filter_drops} "
                         f"qdrop={link.queue.drops} queued={len(link.queue)} "
                         f"transit={link.in_transit}",
                     )

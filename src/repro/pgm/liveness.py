@@ -1,0 +1,316 @@
+"""Acker-liveness watchdog: fast dead-acker detection + degraded mode.
+
+The generic stall machinery (§3.2/§3.6) is deliberately conservative:
+it restarts at ``W = T = 1`` on a doubled-RTO timeout and only elicits
+a fresh election after :data:`~repro.core.sender_cc.ELICIT_AFTER_STALLS`
+consecutive stalls — so a crashed acker costs the session two stall
+backoffs (seconds) before anyone is even *asked* to take over.  This
+module adds the liveness layer the partition experiments need:
+
+* an **ACK inter-arrival watchdog** clocked by the time-RTT (the same
+  estimator pgmcc uses "for determining timeouts", §3): when no ACK
+  arrives within ``ack_timeout_factor * rto`` the incumbent is presumed
+  dead and *demoted* — election cleared, next ODATA marked elicit-NAK
+  (§3.6) — on the **first** timeout, not the second stall;
+* an explicit **degraded mode** for total feedback loss (partition,
+  control-plane blackhole): after ``max_demotions`` fruitless demotions
+  the watchdog performs one controlled ``W = T = 1`` restart and then
+  probes at a conservative rate floor (one elicit-marked packet every
+  ``degraded_interval``) with a bounded repair budget, instead of
+  oscillating through exponentially backed-off stall restarts.  The
+  generic stall timer is suppressed while degraded (see
+  ``SenderController._on_stall_timeout``).
+
+State machine (see DESIGN.md §8 for the timer diagram)::
+
+    NORMAL   --ack timeout-->  SUSPECT   (demote acker, elicit, backoff)
+    SUSPECT  --ack timeout-->  SUSPECT   (re-demote, up to max_demotions)
+    SUSPECT  --ack timeout-->  DEGRADED  (restart W=T=1, rate-floor probes)
+    DEGRADED --NAK arrives-->  SUSPECT   (feedback path back, re-elect)
+    any      --ACK arrives-->  NORMAL    (records time-to-recover)
+
+Every transition is appended to :attr:`LivenessWatchdog.transitions`
+and traced by the owning sender; the degraded phase is a telemetry
+span (``degraded``), so degraded residence time lands in
+``summary()["phases"]`` and the session-metrics export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..simulator.engine import Timer
+
+#: watchdog states
+NORMAL = "normal"
+SUSPECT = "suspect"
+DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class LivenessConfig:
+    """Watchdog tunables (defaults tuned to beat the stall timer)."""
+
+    #: ACK inter-arrival timeout as a multiple of the time-RTT RTO.
+    ack_timeout_factor: float = 2.0
+    #: timeout clamp (seconds); the floor keeps jittery early RTT
+    #: samples from demoting a healthy acker, the ceiling bounds
+    #: detection latency no matter what the RTO says.
+    min_timeout: float = 0.3
+    max_timeout: float = 4.0
+    #: fruitless demotions before giving up on elections and entering
+    #: degraded mode (total feedback loss presumed).  The default is
+    #: deliberately aggressive: a demotion elicits an election from
+    #: *every* receiver, so one full timeout with no reply at all is
+    #: strong evidence the feedback path is gone — and degraded mode is
+    #: cheap to leave (any ACK or NAK exits it).  Backed-off timers, by
+    #: contrast, leave the session deaf for the whole backoff after the
+    #: path heals.
+    max_demotions: int = 1
+    #: degraded-mode probe period (seconds): the conservative rate
+    #: floor — one elicit-marked packet per interval.
+    degraded_interval: float = 0.25
+    #: RDATA budget while degraded; 0 disables repairs entirely until
+    #: feedback returns.
+    degraded_repair_budget: int = 64
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout_factor <= 0:
+            raise ValueError("ack_timeout_factor must be > 0")
+        if not 0 < self.min_timeout <= self.max_timeout:
+            raise ValueError("need 0 < min_timeout <= max_timeout")
+        if self.max_demotions < 1:
+            raise ValueError("max_demotions must be >= 1")
+        if self.degraded_interval <= 0:
+            raise ValueError("degraded_interval must be > 0")
+        if self.degraded_repair_budget < 0:
+            raise ValueError("degraded_repair_budget cannot be negative")
+
+
+class LivenessWatchdog:
+    """The sender-side liveness state machine.
+
+    Args:
+        sim: the event engine.
+        controller: the :class:`~repro.core.sender_cc.SenderController`
+            to demote/restart through (it calls back into the
+            ``note_*`` hooks; wire with ``attach_watchdog``).
+        config: tunables.
+        on_probe: called once per degraded-mode probe interval and on
+            every demotion; the transport should push an elicit-marked
+            packet out (the sender's ``_liveness_probe``).
+        spans: a :class:`~repro.telemetry.registry.SpanTracker` (or the
+            NullRegistry's) receiving the ``degraded`` span.
+        on_transition: optional ``fn(old, new, reason)`` observer
+            (the sender's trace hook).
+    """
+
+    def __init__(
+        self,
+        sim,
+        controller,
+        config: Optional[LivenessConfig] = None,
+        on_probe: Optional[Callable[[], None]] = None,
+        spans=None,
+        on_transition: Optional[Callable[[str, str, str], None]] = None,
+    ):
+        self.sim = sim
+        self.controller = controller
+        self.config = config or LivenessConfig()
+        self.on_probe = on_probe
+        self.spans = spans
+        self.on_transition = on_transition
+        self.state = NORMAL
+        self.closed = False
+        self._timer = Timer(sim, self._on_timeout)
+        self._probe_timer = Timer(sim, self._degraded_probe)
+        #: demotions this suspicion episode (resets on recovery)
+        self._episode_demotions = 0
+        self._suspect_since: Optional[float] = None
+        self._degraded_since: Optional[float] = None
+        self._degraded_accum = 0.0
+        self.repair_budget_left = self.config.degraded_repair_budget
+        # counters / audit log
+        self.demotions = 0
+        self.degraded_entries = 0
+        self.probes_sent = 0
+        self.repairs_blocked = 0
+        #: recovery times: seconds from first suspicion to the ACK that
+        #: ended the episode.
+        self.ttr_samples: List[float] = []
+        #: (time, old_state, new_state, reason) audit log
+        self.transitions: List[Tuple[float, str, str, str]] = []
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        return self.state == DEGRADED
+
+    @property
+    def ttr_last_s(self) -> float:
+        """Most recent time-to-recover (0.0 before any recovery)."""
+        return self.ttr_samples[-1] if self.ttr_samples else 0.0
+
+    @property
+    def degraded_time_s(self) -> float:
+        """Total degraded-mode residence time, live span included."""
+        total = self._degraded_accum
+        if self._degraded_since is not None:
+            total += self.sim.now - self._degraded_since
+        return total
+
+    def summary(self) -> dict:
+        """The ``recovery`` block for ``session.summary()`` (v2)."""
+        return {
+            "state": self.state,
+            "demotions": self.demotions,
+            "degraded_entries": self.degraded_entries,
+            "degraded_time_s": self.degraded_time_s,
+            "probes_sent": self.probes_sent,
+            "repairs_blocked": self.repairs_blocked,
+            "ttr_last_s": self.ttr_last_s,
+            "ttr_samples": list(self.ttr_samples),
+        }
+
+    # -- controller hooks --------------------------------------------------
+
+    def note_data_sent(self) -> None:
+        """Data went out: the ACK clock should tick within a timeout."""
+        if self.closed or self.state == DEGRADED:
+            return
+        if not self._timer.armed:
+            self._timer.start(self._timeout())
+
+    def note_ack(self) -> None:
+        """A (guard-accepted) ACK arrived: full recovery."""
+        if self.closed:
+            return
+        if self.state != NORMAL:
+            if self._suspect_since is not None:
+                self.ttr_samples.append(self.sim.now - self._suspect_since)
+            if self.state == DEGRADED:
+                self._leave_degraded()
+            self._transition(NORMAL, "ack")
+            self._suspect_since = None
+            self._episode_demotions = 0
+        self._timer.restart(self._timeout())
+
+    def note_nak(self) -> None:
+        """A NAK arrived.  NAKs prove the feedback *path* but not the
+        acker's ACK clock, so they never reset the timeout — except out
+        of degraded mode, where any feedback at all means elections can
+        work again."""
+        if self.closed or self.state != DEGRADED:
+            return
+        self._leave_degraded()
+        self._transition(SUSPECT, "nak")
+        self._timer.restart(self._timeout())
+
+    # -- timers ------------------------------------------------------------
+
+    def _timeout(self) -> float:
+        cfg = self.config
+        rto = self.controller.rto
+        if rto is None:
+            base = cfg.max_timeout / 4.0
+        else:
+            base = max(cfg.min_timeout, cfg.ack_timeout_factor * rto)
+        backoff = 2.0 ** min(self._episode_demotions, 3)
+        return min(cfg.max_timeout, base * backoff)
+
+    def _on_timeout(self) -> None:
+        if self.closed or self.controller.closed or self.state == DEGRADED:
+            return
+        tracker = self.controller.tracker
+        backend = self.controller.backend
+        if tracker.outstanding_count == 0 and (
+            backend.kind == "rate" or backend.can_send
+        ):
+            # Idle, not dead: nothing in flight and sending possible —
+            # mirror the stall timer's idle rule and stand down until
+            # the next transmission re-arms us.
+            return
+        if self.state == NORMAL:
+            self._suspect_since = self.sim.now
+            self._transition(SUSPECT, "ack-timeout")
+            self._demote()
+        elif self._episode_demotions >= self.config.max_demotions:
+            self._enter_degraded()
+            return
+        else:
+            self._demote()
+        self._timer.restart(self._timeout())
+
+    def _demote(self) -> None:
+        self.demotions += 1
+        self._episode_demotions += 1
+        self.controller.demote_acker()
+        if self.on_probe is not None:
+            self.on_probe()
+
+    def _enter_degraded(self) -> None:
+        self._transition(DEGRADED, "demotions-exhausted")
+        self.degraded_entries += 1
+        self._degraded_since = self.sim.now
+        if self.spans is not None:
+            self.spans.begin("degraded", self.sim.now)
+        self.repair_budget_left = self.config.degraded_repair_budget
+        # One controlled W=T=1 restart (counted in controller.restarts
+        # so the invariant checker resyncs), then rate-floor probing.
+        self.controller.degraded_restart()
+        self._timer.cancel()
+        self._probe_timer.restart(self.config.degraded_interval)
+
+    def _leave_degraded(self) -> None:
+        if self._degraded_since is not None:
+            self._degraded_accum += self.sim.now - self._degraded_since
+            self._degraded_since = None
+        if self.spans is not None:
+            self.spans.end("degraded", self.sim.now)
+        self._probe_timer.cancel()
+
+    def _degraded_probe(self) -> None:
+        if self.closed or self.state != DEGRADED:
+            return
+        self.probes_sent += 1
+        if self.on_probe is not None:
+            self.on_probe()
+        self._probe_timer.restart(self.config.degraded_interval)
+
+    # -- degraded-mode gates -----------------------------------------------
+
+    def allow_repair(self) -> bool:
+        """Degraded-mode repair budget: RDATA allowed?  (Always true
+        outside degraded mode; the budget refills on entry.)"""
+        if self.state != DEGRADED:
+            return True
+        if self.repair_budget_left > 0:
+            self.repair_budget_left -= 1
+            return True
+        self.repairs_blocked += 1
+        return False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self.closed = True
+        self._timer.cancel()
+        self._probe_timer.cancel()
+        if self._degraded_since is not None:
+            self._degraded_accum += self.sim.now - self._degraded_since
+            self._degraded_since = None
+
+    def _transition(self, new: str, reason: str) -> None:
+        old = self.state
+        self.state = new
+        self.transitions.append((self.sim.now, old, new, reason))
+        if self.on_transition is not None:
+            self.on_transition(old, new, reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LivenessWatchdog state={self.state} "
+            f"demotions={self.demotions} degraded={self.degraded_entries}>"
+        )

@@ -38,6 +38,10 @@ class _NakEntry:
     #: repair already forwarded; the entry then only *eliminates*
     #: duplicate NAKs until it expires (PGM's NAK elimination state).
     repaired: bool = False
+    #: when the repair passed through (drives the soft-state refresh:
+    #: a re-NAK arriving well after the repair means the repair was
+    #: lost downstream, so the elimination state must not eat it).
+    repaired_at: float = 0.0
 
 
 class PgmNetworkElement:
@@ -50,6 +54,7 @@ class PgmNetworkElement:
         rx_loss_aware: bool = False,
         selective_repair: bool = True,
         state_lifetime: float = C.NE_STATE_LIFETIME,
+        repair_linger: float = C.NE_REPAIR_LINGER,
     ):
         self.router = router
         self.sim = router.sim
@@ -57,6 +62,7 @@ class PgmNetworkElement:
         self.rx_loss_aware = rx_loss_aware
         self.selective_repair = selective_repair
         self.state_lifetime = state_lifetime
+        self.repair_linger = repair_linger
         #: fault-injection hook: a disabled NE passes every packet
         #: through untouched, degrading the router to plain forwarding
         #: (the incremental-deployment fallback, §3.1).  Existing NAK
@@ -76,6 +82,7 @@ class PgmNetworkElement:
         self.rdata_selective = 0
         self.rdata_flooded = 0
         self.ncfs_sent = 0
+        self.naks_refreshed = 0
         self.malformed_dropped = 0
         router.set_interceptor(self)
 
@@ -155,6 +162,16 @@ class PgmNetworkElement:
         if entry is not None and now - entry.created >= self.state_lifetime:
             del self._nak_state[key]
             entry = None
+        elif (entry is not None and entry.repaired
+                and now - entry.repaired_at >= self.repair_linger):
+            # Soft-state refresh: the repair passed a while ago yet a
+            # receiver is NAKing again — the RDATA must have died
+            # downstream (partition, loss burst).  Retire the stale
+            # elimination state and let this NAK through instead of
+            # eating the retry until the full lifetime expires.
+            del self._nak_state[key]
+            entry = None
+            self.naks_refreshed += 1
 
         if entry is None:
             self._nak_state[key] = _NakEntry(
@@ -229,6 +246,7 @@ class PgmNetworkElement:
         # straggler NAKs (e.g. from long-RTT receivers that detected
         # the loss late) are still suppressed after the repair passed.
         entry.repaired = True
+        entry.repaired_at = self.sim.now
         entry.branches = set()
         return True
 
@@ -244,6 +262,7 @@ class PgmNetworkElement:
             "rdata_selective": self.rdata_selective,
             "rdata_flooded": self.rdata_flooded,
             "ncfs_sent": self.ncfs_sent,
+            "naks_refreshed": self.naks_refreshed,
             "malformed_dropped": self.malformed_dropped,
             "state_entries": len(self._nak_state),
         }

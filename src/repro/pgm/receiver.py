@@ -156,6 +156,8 @@ class PgmReceiver:
         self.malformed_dropped = 0
         self.insane_dropped = 0
         self.unrecoverable_data_loss = 0
+        #: live-edge rejoins after a gap outlived the repair horizon
+        self.resyncs = 0
         self.acks_suppressed = 0
         self.naks_suppressed = 0
         self.acks_replayed = 0
@@ -241,6 +243,17 @@ class PgmReceiver:
                     self._open_nak_state(missing)
             else:
                 self._next_deliver = msg.seq
+        elif (
+            not is_repair
+            and msg.trail > self.cc.rxw_lead + 1
+            and msg.seq - 1 > self.cc.rxw_lead
+        ):
+            # The sender's trail moved past our window while we were
+            # partitioned: everything between our lead and the trail is
+            # unrepairable, and NAK-storming for the rest of the gap
+            # would only thrash.  Rejoin at the live edge instead
+            # (late-join semantics, §3.8's bounded-recovery corollary).
+            self._resync(msg.seq - 1)
         outcome = self.cc.on_data(msg.seq, self.sim.now, msg.timestamp)
 
         # Any arrival of the sequence quenches its NAK machinery; a
@@ -355,6 +368,35 @@ class PgmReceiver:
             self.delivered += 1
             self._next_deliver += 1
 
+    def _resync(self, live_lead: int) -> None:
+        """Rejoin the session at ``live_lead`` after a gap the sender
+        can no longer repair (partition heal, resumed after the repair
+        horizon passed).  All pending NAK machinery is dropped — no
+        post-heal NAK storm — the skipped span is recorded as
+        ``unrecoverable_data_loss``, and in-order delivery restarts at
+        the live edge, salvaging any already-received packets below it
+        on the way out."""
+        self.resyncs += 1
+        for state in self._nak_states.values():
+            state.timer.cancel()
+        self._nak_states.clear()
+        skipped = self.cc.resync(live_lead)
+        if self.reliable and self.deliver is not None:
+            lost = 0
+            for seq in range(self._next_deliver, live_lead + 1):
+                entry = self._pending_delivery.pop(seq, None)
+                if entry is not None:
+                    self.deliver(seq, entry[0], entry[1])
+                    self.delivered += 1
+                elif seq in self._abandoned:
+                    self._abandoned.discard(seq)
+                else:
+                    lost += 1
+            self._next_deliver = live_lead + 1
+            self.unrecoverable_data_loss += lost
+        else:
+            self.unrecoverable_data_loss += skipped
+
     def _handle_spm(self, spm: Spm) -> None:
         """SPM window bookkeeping.
 
@@ -365,8 +407,17 @@ class PgmReceiver:
         end of a burst that no later ODATA will reveal; two
         consecutive SPMs agreeing on a lead beyond what was received
         (so in-flight data has had time to arrive) trigger NAKs.
+        A trail that moved past our whole window (partition heal)
+        triggers a live-edge resync off the lead advertisement instead
+        of the per-sequence abandon path.
         """
         self.spms_received += 1
+        if (
+            self.cc.rxw_lead >= 0
+            and spm.trail > self.cc.rxw_lead + 1
+            and spm.lead > self.cc.rxw_lead
+        ):
+            self._resync(spm.lead)
         for seq in [s for s in self._nak_states if s < spm.trail]:
             self._abandon(seq)
         if self.reliable and self.deliver is not None and spm.trail > self._next_deliver:

@@ -23,6 +23,7 @@ from ..simulator.packet import Packet
 from ..simulator.trace import FlowTrace
 from . import constants as C
 from .guard import FeedbackGuard
+from .liveness import LivenessConfig, LivenessWatchdog
 from .packets import Ack, Nak, Ncf, OData, RData, Spm, decode
 from .rate_limiter import TokenBucket
 
@@ -160,9 +161,27 @@ class PgmSender:
         self._pump_timer = Timer(self.sim, self._pump)
         self._started = False
         self._closed = False
+        registry = telemetry if telemetry is not None else NullRegistry()
         #: protocol-phase spans (slow start, loss recovery, stall);
         #: a NullRegistry's tracker when telemetry is off.
-        self._spans = (telemetry if telemetry is not None else NullRegistry()).spans
+        self._spans = registry.spans
+        #: stall durations (stall restart -> next clean ACK); the p99
+        #: the resilience experiments report.
+        self._stall_hist = registry.histogram("stall.duration_s")
+        self._stall_began: Optional[float] = None
+        #: optional acker-liveness watchdog (cc.liveness, DESIGN.md §8)
+        self.watchdog: Optional[LivenessWatchdog] = None
+        cc_config = self.controller.config
+        if cc_config.enabled and cc_config.liveness:
+            self.watchdog = LivenessWatchdog(
+                self.sim,
+                self.controller,
+                LivenessConfig(**dict(cc_config.liveness_params)),
+                on_probe=self._liveness_probe,
+                spans=self._spans,
+                on_transition=self._log_liveness,
+            )
+            self.controller.attach_watchdog(self.watchdog)
         # statistics
         self.guard = guard
         self.odata_sent = 0
@@ -350,6 +369,8 @@ class PgmSender:
         last = self._recent_repairs.get(seq)
         if last is not None and self.sim.now - last < self.RDATA_HOLDOFF:
             return
+        if self.watchdog is not None and not self.watchdog.allow_repair():
+            return  # degraded mode: bounded repair budget exhausted
         payload_len, payload = entry
         rdata = RData(self.tsi, seq, self.trail, payload_len, self.sim.now, payload)
         size = rdata.wire_size()
@@ -407,6 +428,9 @@ class PgmSender:
         elif digest.newly_acked:
             self._spans.end("loss_recovery", self.sim.now)
             self._spans.end("stall", self.sim.now)
+            if self._stall_began is not None:
+                self._stall_hist.observe(self.sim.now - self._stall_began)
+                self._stall_began = None
         self._pump()
 
     # -- SPM heartbeat ------------------------------------------------------
@@ -423,6 +447,25 @@ class PgmSender:
     def _log_stall(self) -> None:
         self.trace.log(self.sim.now, "stall", self.next_seq)
         self._spans.begin("stall", self.sim.now)
+        if self._stall_began is None:
+            self._stall_began = self.sim.now
+
+    # -- liveness watchdog ---------------------------------------------------
+
+    def _liveness_probe(self) -> None:
+        """Watchdog probe: push one elicit-marked packet toward the
+        group so a surviving receiver can fake-NAK its way into the
+        acker seat (§3.6).  Goes through the normal pump so window,
+        token and rate-limiter accounting all hold."""
+        if self._closed or not self._started:
+            return
+        self.controller.elicit_nak = True
+        if not self.controller.backend.can_send:
+            self.controller.backend.kick()
+        self._pump()
+
+    def _log_liveness(self, old: str, new: str, reason: str) -> None:
+        self.trace.log(self.sim.now, f"liveness-{new}", self.next_seq)
 
     # -- introspection -----------------------------------------------------
 

@@ -44,8 +44,12 @@ from .receiver import PgmReceiver
 from .sender import DataSource, PgmSender
 from .telemetry import DEFAULT_PROBE_INTERVAL, bind_session_metrics
 
-#: schema tag on :meth:`PgmSession.summary` documents
-SUMMARY_SCHEMA = "pgmcc.session-summary/v1"
+#: schema tag on :meth:`PgmSession.summary` documents.  v2 adds the
+#: ``recovery`` block (liveness watchdog, resyncs, TTR) and the
+#: ``stall_duration`` histogram on top of v1 — per the API.md
+#: versioning rules every v1 key is retained, so v1 consumers keep
+#: working unchanged.
+SUMMARY_SCHEMA = "pgmcc.session-summary/v2"
 
 
 @dataclass
@@ -73,6 +77,11 @@ class SessionConfig:
     #: backend-specific parameters (dict, e.g. {"beta": 0.8}); folded
     #: into ``cc.controller_params``
     controller_params: Optional[dict] = None
+    #: acker-liveness watchdog (repro.pgm.liveness); None keeps
+    #: whatever ``cc.liveness`` says (off by default)
+    liveness: Optional[bool] = None
+    #: LivenessConfig overrides (dict); folded into ``cc.liveness_params``
+    liveness_params: Optional[dict] = None
     #: application data source (default: infinite bulk)
     source: Optional[DataSource] = None
     #: §3.9 unreliable mode when False (reports, no repairs)
@@ -182,19 +191,43 @@ class PgmSession:
         self.metrics.close()
 
     def summary(self) -> dict:
-        """One-call session statistics: ``pgmcc.session-summary/v1``.
+        """One-call session statistics: ``pgmcc.session-summary/v2``.
 
         The scalar keys read the same live counters the session's
         metric bindings sample (see :mod:`repro.pgm.telemetry`), so a
         summary agrees with a simultaneous ``metrics.export()``
-        regardless of whether telemetry is enabled; ``phases`` and
-        ``repair_latency`` come from the registry's push instruments
-        and are empty under the null backend.  The key set is stable —
-        documented in docs/API.md — and only grows in a /v1 schema.
+        regardless of whether telemetry is enabled; ``phases``,
+        ``repair_latency`` and ``stall_duration`` come from the
+        registry's push instruments and are empty under the null
+        backend.  The key set is stable — documented in docs/API.md —
+        and only grows within a schema major: v2 is v1 plus the
+        ``recovery`` block and ``stall_duration``, every v1 key intact.
         """
         controller = self.sender.controller
+        watchdog = self.sender.watchdog
         spans = self.metrics.spans.snapshot()
-        repair = self.metrics.snapshot()["histograms"].get("repair.latency_s")
+        histograms = self.metrics.snapshot()["histograms"]
+        repair = histograms.get("repair.latency_s")
+        unrecoverable = sum(
+            rx.unrecoverable_data_loss for rx in self.receivers
+        )
+        # Fixed key set whether or not the watchdog is attached, so
+        # consumers never key-check per session.
+        recovery = {
+            "watchdog": watchdog is not None,
+            "state": "normal",
+            "demotions": 0,
+            "degraded_entries": 0,
+            "degraded_time_s": 0.0,
+            "probes_sent": 0,
+            "repairs_blocked": 0,
+            "ttr_last_s": 0.0,
+            "ttr_samples": [],
+        }
+        if watchdog is not None:
+            recovery.update(watchdog.summary())
+        recovery["resyncs"] = sum(rx.resyncs for rx in self.receivers)
+        recovery["unrecoverable_loss"] = unrecoverable
         return {
             "schema": SUMMARY_SCHEMA,
             "tsi": self.tsi,
@@ -213,12 +246,12 @@ class PgmSession:
             "controller": controller.backend.name,
             "controller_state": controller.backend.state_summary(),
             "malformed_dropped": self.malformed_dropped(),
-            "unrecoverable_data_loss": sum(
-                rx.unrecoverable_data_loss for rx in self.receivers
-            ),
+            "unrecoverable_data_loss": unrecoverable,
             "guard": self.guard.summary() if self.guard is not None else None,
             "phases": spans["stats"],
             "repair_latency": repair,
+            "stall_duration": histograms.get("stall.duration_s"),
+            "recovery": recovery,
             "receivers": {
                 rx.rx_id: {
                     "odata_received": rx.odata_received,
@@ -229,6 +262,7 @@ class PgmSession:
                     "naks_sent": rx.naks_sent,
                     "malformed_dropped": rx.malformed_dropped,
                     "unrecoverable_data_loss": rx.unrecoverable_data_loss,
+                    "resyncs": rx.resyncs,
                 }
                 for rx in self.receivers
             },
@@ -284,9 +318,11 @@ def create_session(
     if cfg.packet_pool is not None:
         set_packet_pooling(cfg.packet_pool)
 
-    # Controller selection folds into CcConfig so the sender (and the
-    # runner's cache keys, which hash the config) see one source of truth.
-    if cfg.controller is not None or cfg.controller_params is not None:
+    # Controller and liveness selection fold into CcConfig so the
+    # sender (and the runner's cache keys, which hash the config) see
+    # one source of truth.
+    if (cfg.controller is not None or cfg.controller_params is not None
+            or cfg.liveness is not None or cfg.liveness_params is not None):
         cc = cfg.cc if cfg.cc is not None else CcConfig()
         cc = dataclasses.replace(
             cc,
@@ -295,6 +331,12 @@ def create_session(
                 tuple(sorted(cfg.controller_params.items()))
                 if cfg.controller_params is not None
                 else cc.controller_params
+            ),
+            liveness=cfg.liveness if cfg.liveness is not None else cc.liveness,
+            liveness_params=(
+                tuple(sorted(cfg.liveness_params.items()))
+                if cfg.liveness_params is not None
+                else cc.liveness_params
             ),
         )
         cfg = dataclasses.replace(cfg, cc=cc)

@@ -32,17 +32,28 @@ name                         kind     source
 ``rx.repairs_abandoned``     counter  NAK state given up
 ``rx.unrecoverable_loss``    counter  §3.8 bounded-recovery give-ups
 ``rx.ingress_dropped``       counter  malformed + insane data drops
+``rx.resyncs``               counter  live-edge rejoins after heal
 ``net.events_processed``     counter  engine events (whole network)
 ``net.queue_drops``          counter  drop-tail losses, all links
 ``net.random_drops``         counter  random-loss stage, all links
 ``net.fault_drops``          counter  outage/corruption drops, all links
+``net.filter_drops``         counter  control-blackhole drops, all links
+``liveness.demotions``       counter  watchdog acker demotions
+``liveness.degraded_entries`` counter degraded-mode entries
+``cc.restarts``              counter  W=T=1 restarts (stall + degraded)
 ``cc.window_w``              gauge    current W
 ``cc.tokens``                gauge    current T
 ``cc.srtt_s``                gauge    smoothed time-RTT (timeouts)
 ``rx.count``                 gauge    current group size
 ``rx.max_loss_rate``         gauge    worst receiver loss estimate
 ``rx.mean_loss_rate``        gauge    mean receiver loss estimate
+``liveness.degraded_time_s`` gauge    degraded-mode residence time
+``liveness.ttr_last_s``      gauge    latest time-to-recover sample
 ===========================  =======  ====================================
+
+The ``liveness.*`` instruments are always bound (0 when no watchdog is
+attached) so the exported key set is identical across configurations —
+only the *schema version* grows, never per-config key churn.
 
 Sim-clock series (probe, default every ``interval`` seconds):
 ``cc.window`` (W), ``cc.tokens`` (T), ``rx.max_loss_rate``.
@@ -97,8 +108,19 @@ def bind_session_metrics(session: "PgmSession",
     bind("sender.ingress_dropped",
          lambda: sender.malformed_dropped + sender.insane_dropped)
     bind("cc.stalls", lambda: controller.stalls)
+    bind("cc.restarts", lambda: controller.restarts)
     bind("cc.acker_switches", lambda: controller.election.switch_count)
     bind("cc.acker_evictions", lambda: controller.acker_evictions)
+    bind("liveness.demotions",
+         lambda: sender.watchdog.demotions if sender.watchdog else 0)
+    bind("liveness.degraded_entries",
+         lambda: sender.watchdog.degraded_entries if sender.watchdog else 0)
+    bind("liveness.degraded_time_s",
+         lambda: (sender.watchdog.degraded_time_s
+                  if sender.watchdog else 0.0), kind="gauge")
+    bind("liveness.ttr_last_s",
+         lambda: (sender.watchdog.ttr_last_s
+                  if sender.watchdog else 0.0), kind="gauge")
     bind("guard.acks_blocked", lambda: sender.guard_acks_blocked)
     bind("guard.naks_blocked", lambda: sender.guard_naks_blocked)
     bind("guard.quarantines",
@@ -118,6 +140,7 @@ def bind_session_metrics(session: "PgmSession",
     bind("rx.ingress_dropped",
          lambda: sum(rx.malformed_dropped + rx.insane_dropped
                      for rx in receivers))
+    bind("rx.resyncs", rx_sum("resyncs"))
 
     def link_sum(key: str):
         return lambda: sum(link.metrics()[key]
@@ -136,6 +159,7 @@ def bind_session_metrics(session: "PgmSession",
          lambda: sum(link.fault_drops + link.corrupt_drops
                      for node in net.nodes.values()
                      for link in node.links.values()))
+    bind("net.filter_drops", link_sum("filter_drops"))
 
     def max_loss() -> float:
         return max((rx.loss_rate for rx in receivers), default=0.0)

@@ -22,6 +22,12 @@ Episode catalogue::
     BurstLoss(a, b, at, duration)       loss_rate=1.0 burst episode
     Duplication(a, b, at, duration)     per-packet duplication stage
     Corruption(a, b, at, duration)      per-packet corruption stage
+    Partition(side_a, side_b, at,       bisect the topology: every link
+              duration)                 crossing the cut goes down both
+                                        ways, then heals together
+    ControlBlackhole(a, b, at,          asymmetric control-plane loss:
+                     duration, kinds)   drop ACK/NAK/NCF/SPM on the link
+                                        while data still flows
     NodePause(node, at, duration)       freeze a node's data plane
     NodeResume(node, at)                explicit un-pause
     NodeCrash(node, at)                 permanent kill (node may be ACKER)
@@ -189,6 +195,58 @@ class Corruption:
         _check_rate("rate", self.rate)
         if self.mode not in ("drop", "mangle"):
             raise ValueError(f"mode must be 'drop' or 'mangle', got {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Bisect the topology at ``at``: every link with one endpoint in
+    ``side_a`` and the other in ``side_b`` goes down (both directions),
+    then the whole cut heals together after ``duration`` (``None`` =
+    never).  Nodes named on neither side are untouched — partial cuts
+    compose by listing only the halves that matter.  Outages share the
+    reference-counted :class:`LinkDown` machinery, so overlapping
+    partitions (or a partition overlapping a ``LinkDown``) nest."""
+
+    side_a: tuple[str, ...]
+    side_b: tuple[str, ...]
+    at: float
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "side_a", tuple(self.side_a))
+        object.__setattr__(self, "side_b", tuple(self.side_b))
+        _check_at(self.at)
+        _check_duration(self.duration)
+        if not self.side_a or not self.side_b:
+            raise ValueError("both partition sides must be non-empty")
+        overlap = set(self.side_a) & set(self.side_b)
+        if overlap:
+            raise ValueError(f"partition sides overlap: {sorted(overlap)}")
+
+
+@dataclass(frozen=True)
+class ControlBlackhole:
+    """Asymmetric control-plane loss on the ``a -> b`` link: packets
+    whose payload class name is in ``kinds`` are dropped at ingress
+    while everything else (data) flows — the nastiest case for an
+    ACK-clocked protocol, whose feedback dies while transmissions keep
+    arriving.  Defaults to the full PGM control plane (ACK, NAK, NCF
+    and SPM).  Overlapping blackholes on one link drop the union of
+    their kinds."""
+
+    a: str
+    b: str
+    at: float
+    duration: Optional[float] = None
+    kinds: tuple[str, ...] = ("Ack", "Nak", "Ncf", "Spm")
+    both: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kinds", tuple(self.kinds))
+        _check_at(self.at)
+        _check_duration(self.duration)
+        if not self.kinds:
+            raise ValueError("ControlBlackhole needs at least one kind")
 
 
 @dataclass(frozen=True)
@@ -377,6 +435,8 @@ FaultEpisode = Union[
     BurstLoss,
     Duplication,
     Corruption,
+    Partition,
+    ControlBlackhole,
     NodePause,
     NodeResume,
     NodeCrash,
@@ -397,13 +457,16 @@ _EPISODE_TYPES = (
     BurstLoss,
     Duplication,
     Corruption,
+    Partition,
+    ControlBlackhole,
     NodePause,
     NodeResume,
     NodeCrash,
     ElementDown,
 ) + _RX_EPISODES
 
-_LINK_EPISODES = (LinkDown, LinkImpairment, BurstLoss, Duplication, Corruption)
+_LINK_EPISODES = (LinkDown, LinkImpairment, BurstLoss, Duplication, Corruption,
+                  ControlBlackhole)
 
 #: Episode type -> (behaviour kind, parameter-field names) for the
 #: receiver-misbehavior episodes.  The kind string is the duck-typed
@@ -497,6 +560,12 @@ class FaultPlan:
                     raise ValueError(f"no link {ep.a}->{ep.b} for {ep!r}")
                 if ep.both and ep.a not in net.nodes[ep.b].links:
                     raise ValueError(f"no reverse link {ep.b}->{ep.a} for {ep!r}")
+            elif isinstance(ep, Partition):
+                for name in ep.side_a + ep.side_b:
+                    if name not in net.nodes:
+                        raise ValueError(f"unknown node {name!r} in {ep!r}")
+                if not _cut_links(net, ep):
+                    raise ValueError(f"no links cross the cut in {ep!r}")
             elif isinstance(ep, (NodePause, NodeResume, NodeCrash)):
                 if ep.node != ACKER and ep.node not in net.nodes:
                     raise ValueError(f"unknown node {ep.node!r} in {ep!r}")
@@ -506,6 +575,19 @@ class FaultPlan:
             elif isinstance(ep, _RX_EPISODES):
                 if ep.receiver != ACKER and ep.receiver not in net.nodes:
                     raise ValueError(f"unknown receiver {ep.receiver!r} in {ep!r}")
+
+
+def _cut_links(net: "Network", ep: Partition) -> list[Link]:
+    """Every directed link crossing the ``side_a``/``side_b`` cut, in
+    deterministic (sorted endpoint) order."""
+    links = []
+    side_a, side_b = set(ep.side_a), set(ep.side_b)
+    for src, dst in sorted(
+            (a, b) for a in side_a | side_b
+            for b in net.nodes[a].links
+            if (a in side_a and b in side_b) or (a in side_b and b in side_a)):
+        links.append(net.nodes[src].links[dst])
+    return links
 
 
 @dataclass(frozen=True)
@@ -534,6 +616,7 @@ class _LinkOverrides:
             "loss": [],
             "dup": [],
             "corrupt": [],
+            "filter": [],
         }
 
     def down(self) -> None:
@@ -567,6 +650,12 @@ class _LinkOverrides:
             self.link.delay = self.base_delay if top is None else top
         elif knob == "loss":
             self.link.loss = self.base_loss if top is None else top
+        elif knob == "filter":
+            # overlapping blackholes compose: drop the union of kinds
+            kinds: set[str] = set()
+            for _token, value in self._stacks["filter"]:
+                kinds.update(value)
+            self.link.set_control_filter(kinds)
         else:  # dup / corrupt share one configuration call
             dup = self._top("dup") or 0.0
             corrupt = self._top("corrupt") or (0.0, "drop")
@@ -688,6 +777,21 @@ class FaultInjector:
                 token = next(self._tokens)
                 self._at(ep.at, self._push, state, knob, token, value)
                 self._at(ep.at + ep.duration, self._pop, state, knob, token)
+        elif isinstance(ep, Partition):
+            for link in _cut_links(self.net, ep):
+                state = self._override_state(link)
+                self._at(ep.at, self._link_down, state)
+                if ep.duration is not None:
+                    self._at(ep.at + ep.duration, self._link_up, state)
+        elif isinstance(ep, ControlBlackhole):
+            for link in self._links_for(ep.a, ep.b, ep.both):
+                state = self._override_state(link)
+                token = next(self._tokens)
+                self._at(ep.at, self._push, state, "filter", token,
+                         frozenset(ep.kinds))
+                if ep.duration is not None:
+                    self._at(ep.at + ep.duration,
+                             self._pop, state, "filter", token)
         elif isinstance(ep, NodePause):
             self._at(ep.at, self._node_action, ep.node, "pause")
             if ep.duration is not None:

@@ -28,7 +28,12 @@ path is unaffected.  Fault semantics:
 * *duplication* injects a second copy of the packet into the
   transmitter (``fault_duplicates``), so the conservation identity
   becomes ``sent + fault_duplicates == delivered + all drops +
-  queued + in_transit``.
+  queued + in_transit``;
+* a *control filter* drops packets whose payload class name matches a
+  configured set (``filter_drops``) while everything else flows — the
+  asymmetric control-plane blackhole :class:`~repro.simulator.faults.
+  ControlBlackhole` drives, matched by duck type so the simulator stays
+  protocol-agnostic (raw-byte payloads never match).
 """
 
 from __future__ import annotations
@@ -95,11 +100,13 @@ class Link:
         self.corrupt_drops = 0
         self.corrupt_mangled = 0
         self.fault_duplicates = 0
+        self.filter_drops = 0
         self.in_transit = 0
         self._dup_rate = 0.0
         self._corrupt_rate = 0.0
         self._corrupt_mode = "drop"
         self._fault_rng = None
+        self._filter_kinds: Optional[frozenset[str]] = None
 
     # -- wiring ----------------------------------------------------------
 
@@ -133,6 +140,13 @@ class Link:
             self.fault_drops += 1
             if self._observers:
                 self._notify("drop-fault", packet)
+            packet.release()
+            return False
+        if (self._filter_kinds is not None
+                and type(packet.payload).__name__ in self._filter_kinds):
+            self.filter_drops += 1
+            if self._observers:
+                self._notify("drop-filter", packet)
             packet.release()
             return False
         if self.loss.should_drop(packet):
@@ -216,6 +230,11 @@ class Link:
         self._corrupt_mode = corrupt_mode
         self._fault_rng = rng if (dup_rate > 0.0 or corrupt_rate > 0.0) else None
 
+    def set_control_filter(self, kinds) -> None:
+        """Drop packets whose payload class name is in ``kinds``
+        (empty/None disables).  Drives :class:`ControlBlackhole`."""
+        self._filter_kinds = frozenset(kinds) if kinds else None
+
     def _mangle(self, packet: Packet):
         """Encode ``packet``'s payload and flip a few bytes; returns a
         fresh packet carrying the raw bytes (the original object is
@@ -244,6 +263,7 @@ class Link:
             + self.random_drops
             + self.corrupt_drops
             + self.fault_drops
+            + self.filter_drops
             + self.queue.drops
             + len(self.queue)
             + self.in_transit
@@ -261,6 +281,7 @@ class Link:
             "random_drops": self.random_drops,
             "queue_drops": self.queue.drops,
             "fault_drops": self.fault_drops,
+            "filter_drops": self.filter_drops,
             "corrupt_drops": self.corrupt_drops,
             "corrupt_mangled": self.corrupt_mangled,
             "fault_duplicates": self.fault_duplicates,

@@ -10,8 +10,9 @@ from repro.pgm import SUMMARY_SCHEMA, add_receiver, create_session
 from repro.pgm.session import SessionConfig
 from repro.simulator import NON_LOSSY, dumbbell
 
-#: every summary key is part of the pgmcc.session-summary/v1 contract —
-#: keys may be added in later versions but never removed or renamed.
+#: every v1 summary key remains part of the pgmcc.session-summary/v2
+#: contract — keys may be added in later versions but never removed or
+#: renamed, so v1 consumers keep working against v2 summaries.
 SUMMARY_V1_KEYS = {
     "schema", "tsi", "group", "odata_sent", "rdata_sent", "bytes_sent",
     "acks_received", "naks_received", "nak_origins", "acker",
@@ -24,6 +25,19 @@ RECEIVER_V1_KEYS = {
     "odata_received", "rdata_received", "loss_rate", "delivered",
     "acks_sent", "naks_sent", "malformed_dropped",
     "unrecoverable_data_loss",
+}
+
+#: keys v2 adds on top of v1.
+SUMMARY_V2_NEW_KEYS = {"stall_duration", "recovery"}
+
+RECEIVER_V2_NEW_KEYS = {"resyncs"}
+
+#: the fixed key set of the v2 ``recovery`` block — identical whether
+#: or not a liveness watchdog is attached.
+RECOVERY_KEYS = {
+    "watchdog", "state", "demotions", "degraded_entries",
+    "degraded_time_s", "probes_sent", "repairs_blocked", "ttr_last_s",
+    "ttr_samples", "resyncs", "unrecoverable_loss",
 }
 
 
@@ -111,17 +125,71 @@ class TestReceiverIndex:
         with pytest.raises(KeyError):
             session.receiver("nope")
 
+    def test_add_receiver_during_election_with_guard_active(self):
+        # A receiver joining while the FeedbackGuard is active and the
+        # acker election is still converging must integrate cleanly:
+        # it gets delivered to, may win the election, and a demotion
+        # (election cleared, elicit in flight) right before the join
+        # must not wedge the session or violate guard rules.
+        net = dumbbell(1, 3, NON_LOSSY, seed=9)
+        session = create_session(net, "h0", ["r0", "r1"], guard=True)
+        controller = session.sender.controller
+
+        def join_mid_election():
+            # Force an in-flight election: clear the incumbent and
+            # mark the next ODATA elicit-NAK, then add the receiver
+            # before any report answers it.
+            controller.demote_acker()
+            add_receiver(net, session, "r2")
+
+        net.sim.schedule_at(3.0, join_mid_election)
+        net.run(until=12.0)
+        assert session.sender.guard is not None
+        late = session.receiver("r2")
+        assert late.delivered > 0
+        # Election re-converged on some live receiver.
+        assert controller.current_acker in {"r0", "r1", "r2"}
+        summary = session.summary()
+        assert "r2" in summary["receivers"]
+        session.close()
+
 
 class TestSummarySchema:
-    def test_v1_key_set(self):
+    def test_v1_keys_survive_in_v2(self):
         net = dumbbell(1, 2, NON_LOSSY)
         session = create_session(net, "h0", ["r0", "r1"])
         net.run(until=10.0)
         summary = session.summary()
-        assert summary["schema"] == SUMMARY_SCHEMA == "pgmcc.session-summary/v1"
+        assert summary["schema"] == SUMMARY_SCHEMA == "pgmcc.session-summary/v2"
         assert SUMMARY_V1_KEYS <= set(summary)
         for rx_summary in summary["receivers"].values():
             assert RECEIVER_V1_KEYS <= set(rx_summary)
+        session.close()
+
+    def test_v2_recovery_block_fixed_keys_without_watchdog(self):
+        net = dumbbell(1, 1, NON_LOSSY)
+        session = create_session(net, "h0", ["r0"])
+        net.run(until=5.0)
+        summary = session.summary()
+        assert SUMMARY_V2_NEW_KEYS <= set(summary)
+        recovery = summary["recovery"]
+        assert set(recovery) == RECOVERY_KEYS
+        assert recovery["watchdog"] is False
+        assert recovery["demotions"] == 0
+        for rx_summary in summary["receivers"].values():
+            assert RECEIVER_V2_NEW_KEYS <= set(rx_summary)
+        session.close()
+
+    def test_v2_recovery_block_fixed_keys_with_watchdog(self):
+        net = dumbbell(1, 1, NON_LOSSY)
+        session = create_session(
+            net, "h0", ["r0"], config=SessionConfig(liveness=True))
+        net.run(until=5.0)
+        summary = session.summary()
+        recovery = summary["recovery"]
+        assert set(recovery) == RECOVERY_KEYS
+        assert recovery["watchdog"] is True
+        assert recovery["state"] == "normal"
         session.close()
 
     def test_summary_round_trips_through_json(self):

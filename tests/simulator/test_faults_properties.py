@@ -8,9 +8,11 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.pgm import create_session
+from repro.pgm.session import SessionConfig
 from repro.simulator import (
     ACKER,
     BurstLoss,
+    ControlBlackhole,
     Corruption,
     Duplication,
     FaultPlan,
@@ -19,6 +21,7 @@ from repro.simulator import (
     LinkSpec,
     NodeCrash,
     NodePause,
+    Partition,
     dumbbell,
 )
 
@@ -31,13 +34,32 @@ NODES = ["r0", "r1", "R0", "R1", ACKER]
 TIMES = st.sampled_from([0.5, 1.0, 2.5, 4.0, 6.0, 7.5])
 DURATIONS = st.sampled_from([0.2, 0.5, 1.0, 2.0])
 
+#: ways to bisect every dumbbell(1, 2) topology — all have cut links.
+CUTS = [
+    (("h0", "R0"), ("R1", "r0", "r1")),
+    (("h0", "R0", "R1"), ("r0", "r1")),
+    (("h0",), ("R0", "R1", "r0", "r1")),
+]
+
+#: control-packet kind sets for blackholes (payload class names)
+KIND_SETS = [("Ack",), ("Ack", "Nak"), ("Ack", "Nak", "Ncf", "Spm")]
+
 
 @st.composite
 def episodes(draw):
     kind = draw(st.sampled_from(
-        ["down", "impair", "burst", "dup", "corrupt", "pause", "crash"]
+        ["down", "impair", "burst", "dup", "corrupt", "pause", "crash",
+         "partition", "blackhole"]
     ))
     at = draw(TIMES)
+    if kind == "partition":
+        side_a, side_b = draw(st.sampled_from(CUTS))
+        return Partition(side_a, side_b, at=at, duration=draw(DURATIONS))
+    if kind == "blackhole":
+        a, b = draw(st.sampled_from(LINKS))
+        return ControlBlackhole(a, b, at=at, duration=draw(DURATIONS),
+                                kinds=draw(st.sampled_from(KIND_SETS)),
+                                both=draw(st.booleans()))
     if kind in ("pause", "crash"):
         node = draw(st.sampled_from(NODES))
         if kind == "pause":
@@ -108,3 +130,62 @@ class TestPlanProperties:
               suppress_health_check=[HealthCheck.too_slow])
     def test_same_seed_and_plan_is_byte_identical(self, plan, seed):
         assert run_traced(plan, seed) == run_traced(plan, seed)
+
+
+@st.composite
+def partition_plans(draw, max_episodes=4):
+    """Plans of only the liveness-layer faults: partitions (freely
+    overlapping), control blackholes, and acker crashes — including
+    heal-before-crash and crash-during-partition orderings."""
+    n = draw(st.integers(min_value=1, max_value=max_episodes))
+    eps = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["partition", "blackhole", "crash"]))
+        at = draw(TIMES)
+        if kind == "partition":
+            side_a, side_b = draw(st.sampled_from(CUTS))
+            eps.append(Partition(side_a, side_b, at=at,
+                                 duration=draw(DURATIONS)))
+        elif kind == "blackhole":
+            a, b = draw(st.sampled_from(LINKS))
+            eps.append(ControlBlackhole(
+                a, b, at=at, duration=draw(DURATIONS),
+                kinds=draw(st.sampled_from(KIND_SETS)),
+                both=draw(st.booleans())))
+        else:
+            eps.append(NodeCrash(draw(st.sampled_from(["r0", "r1", ACKER])),
+                                 at=at))
+    return FaultPlan(tuple(eps))
+
+
+class TestPartitionInvariants:
+    """The satellite oracle: no ordering of partitions, blackholes and
+    crashes — overlapping episodes, heals racing crashes — may ever
+    violate the window/token accounting, with or without the liveness
+    watchdog driving recovery restarts."""
+
+    @pytest.mark.slow
+    @given(plan=partition_plans(),
+           liveness=st.booleans(),
+           seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_partition_plans_never_violate_invariants(self, plan, liveness,
+                                                      seed):
+        net = dumbbell(1, 2, BOTTLENECK, seed=seed)
+        session = create_session(
+            net, "h0", ["r0", "r1"],
+            config=SessionConfig(liveness=liveness, faults=plan,
+                                 check_invariants=True,
+                                 strict_invariants=True))
+        net.run(until=12.0)
+        session.invariants.verify_now()
+        assert session.invariants.ok
+        session.close()
+
+    @given(plan=partition_plans(max_episodes=2))
+    @settings(max_examples=20, deadline=None)
+    def test_partition_plans_compile(self, plan):
+        net = dumbbell(1, 2, BOTTLENECK, seed=3)
+        plan.validate_against(net)
+        net.install_faults(plan, acker_lookup=lambda: "r0")
