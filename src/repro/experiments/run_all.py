@@ -75,7 +75,7 @@ REGISTRY: tuple[ExperimentSpec, ...] = (
     ExperimentSpec("EXP-SWEEP", "repro.experiments.fairness_sweep", scale_factor=0.5,
                    description="fairness over the 4.3 configuration grid"),
     ExperimentSpec("EXP-SCALE", "repro.experiments.scalability", scale_factor=0.5,
-                   description="scalability up to 200 receivers"),
+                   description="scalability: exact ladder to 200, hybrid to 10^6"),
     ExperimentSpec("EXP-ARENA", "repro.experiments.arena", scale_factor=0.5,
                    description="controller arena: pgmcc vs jain/aimd/tfrc"),
     ExperimentSpec("EXP-RESILIENCE", "repro.experiments.resilience",

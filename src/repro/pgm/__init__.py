@@ -10,6 +10,13 @@ Public surface::
 """
 
 from . import constants
+from .aggregate import (
+    AggregateManager,
+    AggregateParams,
+    MirrorBank,
+    AnalyticBank,
+    TailProxy,
+)
 from .fec import FecAssembler, FecPayload, FecSource, attach_fec_receiver
 from .guard import FeedbackGuard, GuardConfig, GuardVerdict
 from .invariants import InvariantChecker, InvariantViolation, Violation
@@ -31,6 +38,11 @@ from .session import (
 
 __all__ = [
     "constants",
+    "AggregateManager",
+    "AggregateParams",
+    "MirrorBank",
+    "AnalyticBank",
+    "TailProxy",
     "FeedbackGuard",
     "GuardConfig",
     "GuardVerdict",

@@ -35,6 +35,18 @@ design arguments rest on:
     quarantined receiver never holds ackership: its reports must not
     win (or keep) the election while its control influence is revoked.
 
+``aggregate-conservation``
+    under hybrid fidelity (:mod:`repro.pgm.aggregate`), the exact
+    cohort and the analytic tail partition the population exactly —
+    per subtree and in total — and every exact-cohort identity is
+    backed by a live receiver engine.  Aggregated fan-out is
+    tolerated; the exact-cohort accounting is binding.
+
+``aggregate-promotion``
+    a tail identity that wins the acker election must be promoted to
+    the exact cohort within ``AggregateParams.promotion_grace``
+    seconds — ackership may never *rest* on analytic state.
+
 The checker works by wrapping the relevant methods on attach — the
 unattached hot path pays nothing.  With ``strict=True`` (the default,
 and what the fuzzers use as an oracle) the first violation raises
@@ -59,6 +71,8 @@ RULES = (
     "link-conservation",
     "switch-no-reaction",
     "quarantined-no-acker",
+    "aggregate-conservation",
+    "aggregate-promotion",
 )
 
 
@@ -112,6 +126,9 @@ class InvariantChecker:
         #: digest is reconciled, so ledger comparisons are deferred to
         #: the end of the outer call.
         self._in_feedback = 0
+        #: (acker, since) while a tail identity holds ackership
+        #: unpromoted (aggregate-promotion grace tracking)
+        self._tail_acker_since: Optional[tuple[str, float]] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -367,9 +384,32 @@ class InvariantChecker:
         self._resync_after_stall(controller)
         self._check_window(controller.window)
         self._check_quarantine("periodic sweep")
+        self._check_aggregate(controller)
         # Receivers that joined after attach get wrapped here.
         for rx in self.session.receivers:
             self._wrap_receiver(rx)
+
+    def _check_aggregate(self, controller) -> None:
+        manager = getattr(self.session, "aggregate", None)
+        if manager is None:
+            return
+        for detail in manager.conservation_errors():
+            self._violate("aggregate-conservation", detail)
+        acker = controller.current_acker
+        if acker is not None and manager.is_tail_identity(acker):
+            now = self.sim.now
+            if (self._tail_acker_since is None
+                    or self._tail_acker_since[0] != acker):
+                self._tail_acker_since = (acker, now)
+            elif now - self._tail_acker_since[1] > manager.params.promotion_grace:
+                self._violate(
+                    "aggregate-promotion",
+                    f"acker {acker} is an unpromoted tail identity "
+                    f"(for {now - self._tail_acker_since[1]:.3f}s, grace "
+                    f"{manager.params.promotion_grace}s)",
+                )
+        else:
+            self._tail_acker_since = None
 
     def _tick(self) -> None:
         self._sweep()

@@ -70,6 +70,9 @@ class PgmNetworkElement:
         self.enabled = True
         self._nak_state: dict[tuple[int, int], _NakEntry] = {}
         self._fake_seen: dict[tuple[int, int], float] = {}
+        #: (tsi, branch) -> member count an aggregate proxy stands for
+        #: (repro.pgm.aggregate side-channel, no wire-format change)
+        self._aggregate_weight: dict[tuple[int, str], int] = {}
         #: upstream PGM hop per session, learned from SPM arrivals
         self.upstream: dict[int, str] = {}
         #: session -> multicast group, learned from downstream traffic
@@ -84,7 +87,24 @@ class PgmNetworkElement:
         self.ncfs_sent = 0
         self.naks_refreshed = 0
         self.malformed_dropped = 0
+        self.naks_aggregated = 0
         router.set_interceptor(self)
+
+    def register_aggregate_branch(self, tsi: int, branch: str,
+                                  weight: int) -> None:
+        """Declare ``branch`` an aggregate proxy speaking for ``weight``
+        receivers of session ``tsi``.
+
+        A NAK heard on that branch then counts as ``weight`` member
+        NAKs in the suppression accounting (``naks_aggregated``) —
+        exactly the NAKs a full population would have sent and this NE
+        would have absorbed.  Forwarding behaviour is unchanged: the
+        proxy already emits only the would-be suppression winner.
+        """
+        if weight > 1:
+            self._aggregate_weight[(tsi, branch)] = weight
+        else:
+            self._aggregate_weight.pop((tsi, branch), None)
 
     # -- interceptor entry point ---------------------------------------------
 
@@ -140,6 +160,11 @@ class PgmNetworkElement:
 
     def _handle_nak(self, packet: Packet, nak: Nak, from_node: str) -> bool:
         self.naks_seen += 1
+        weight = self._aggregate_weight.get((nak.tsi, from_node), 0)
+        if weight > 1:
+            # The proxy's NAK is the one its tail's suppression lottery
+            # let through; the other weight-1 never left this subtree.
+            self.naks_aggregated += weight - 1
         now = self.sim.now
         if nak.fake:
             # Fake NAKs exist purely to seed the election; they create
@@ -263,6 +288,8 @@ class PgmNetworkElement:
             "rdata_flooded": self.rdata_flooded,
             "ncfs_sent": self.ncfs_sent,
             "naks_refreshed": self.naks_refreshed,
+            "naks_aggregated": self.naks_aggregated,
+            "aggregate_branches": len(self._aggregate_weight),
             "malformed_dropped": self.malformed_dropped,
             "state_entries": len(self._nak_state),
         }

@@ -309,7 +309,7 @@ class PgmReceiver:
             opened=self.sim.now,
         )
         self._nak_states[seq] = state
-        state.timer.start(self.rng.uniform(0, self.nak_bo_ivl))
+        state.timer.start(self._backoff_delay(seq))
 
     def _drop_nak_state(self, seq: int) -> None:
         state = self._nak_states.pop(seq, None)
@@ -323,7 +323,7 @@ class PgmReceiver:
         if state.state == "CONFIRMED":
             # NCF seen but the repair never arrived: start over.
             state.state = "BACKOFF"
-            state.timer.restart(self.rng.uniform(0, self.nak_bo_ivl))
+            state.timer.restart(self._backoff_delay(seq))
             return
         # BACKOFF or AWAIT_NCF: (re)send the NAK.
         if state.attempts >= self.nak_max_retries:
@@ -334,7 +334,7 @@ class PgmReceiver:
             # NAK transmissions out instead of bursting them.
             wait = self._last_nak_time + self.storm_spacing - self.sim.now
             if wait > 0:
-                state.timer.restart(wait + self.rng.uniform(0, self.storm_spacing))
+                state.timer.restart(wait + self._storm_jitter())
                 return
         state.attempts += 1
         self._send_nak(seq)
@@ -474,9 +474,25 @@ class PgmReceiver:
 
     def _send_fake_nak(self, seq: int) -> None:
         # Small jitter so co-located receivers do not synchronise.
-        self.sim.schedule(
-            self.rng.uniform(0, self.nak_bo_ivl / 4), self._send_nak, seq, True
-        )
+        self.sim.schedule(self._fake_jitter(seq), self._send_nak, seq, True)
+
+    # -- randomised-delay hooks ---------------------------------------------
+    # All feedback-suppression draws go through these three methods (one
+    # rng draw each, so runs are draw-for-draw identical to the inlined
+    # form).  repro.pgm.aggregate's TailProxy overrides them to draw the
+    # *minimum over its modeled tail* instead of a single receiver's.
+
+    def _backoff_delay(self, seq: int) -> float:
+        """NAK backoff for ``seq`` (gap open and CONFIRMED restart)."""
+        return self.rng.uniform(0, self.nak_bo_ivl)
+
+    def _fake_jitter(self, seq: int) -> float:
+        """Desynchronisation jitter before an elicited fake NAK."""
+        return self.rng.uniform(0, self.nak_bo_ivl / 4)
+
+    def _storm_jitter(self) -> float:
+        """Extra spacing jitter in the §3.8 NAK-storm pacing regime."""
+        return self.rng.uniform(0, self.storm_spacing)
 
     def _send_ack(self, ack_seq: int) -> None:
         if self._closed:

@@ -120,6 +120,11 @@ class SessionConfig:
     #: process-wide packet pooling override (None: leave as configured,
     #: see ``repro.simulator.packet.set_packet_pooling``)
     packet_pool: Optional[bool] = None
+    #: hybrid-fidelity aggregate mode (repro.pgm.aggregate): requires a
+    #: network built by ``dumbbell_subtrees(..., members="virtual")``
+    aggregate: bool = False
+    #: :class:`~repro.pgm.aggregate.AggregateParams` overrides (dict)
+    aggregate_params: Optional[dict] = None
 
 
 @dataclass
@@ -141,6 +146,8 @@ class PgmSession:
     metrics: "MetricsRegistry | NullRegistry" = field(
         default_factory=NullRegistry, repr=False
     )
+    #: hybrid-fidelity manager (``SessionConfig.aggregate``), else None
+    aggregate: Optional[object] = None
     #: rx_id -> receiver index backing :meth:`receiver`
     _rx_index: dict[str, PgmReceiver] = field(
         default_factory=dict, repr=False, compare=False
@@ -184,6 +191,8 @@ class PgmSession:
 
     def close(self) -> None:
         self.sender.close()
+        if self.aggregate is not None:
+            self.aggregate.close()
         for rx in self.receivers:
             rx.close()
         if self.invariants is not None:
@@ -228,6 +237,13 @@ class PgmSession:
             recovery.update(watchdog.summary())
         recovery["resyncs"] = sum(rx.resyncs for rx in self.receivers)
         recovery["unrecoverable_loss"] = unrecoverable
+        # Fixed key set whether or not the hybrid subsystem is on.
+        from .aggregate import empty_aggregate_summary
+
+        aggregate = (
+            self.aggregate.summary() if self.aggregate is not None
+            else empty_aggregate_summary()
+        )
         return {
             "schema": SUMMARY_SCHEMA,
             "tsi": self.tsi,
@@ -252,6 +268,7 @@ class PgmSession:
             "repair_latency": repair,
             "stall_duration": histograms.get("stall.duration_s"),
             "recovery": recovery,
+            "aggregate": aggregate,
             "receivers": {
                 rx.rx_id: {
                     "odata_received": rx.odata_received,
@@ -341,6 +358,22 @@ def create_session(
         )
         cfg = dataclasses.replace(cfg, cc=cc)
 
+    plan = None
+    if cfg.aggregate:
+        plan = getattr(net, "subtree_plan", None)
+        if plan is None:
+            raise ValueError(
+                "SessionConfig.aggregate requires a network built by "
+                "dumbbell_subtrees(..., members='virtual')"
+            )
+        if plan.members != "virtual":
+            raise ValueError(
+                "aggregate sessions need dumbbell_subtrees "
+                "members='virtual' (got members='real')"
+            )
+        if not receiver_hosts:
+            receiver_hosts = plan.session_hosts()
+
     tsi = cfg.tsi if cfg.tsi is not None else net.next_tsi()
     group = cfg.group if cfg.group is not None else f"mc:pgm{tsi}"
     net.set_group(group, sender_host, receiver_hosts)
@@ -377,11 +410,33 @@ def create_session(
     )
     session = PgmSession(net, sender, [], group, tsi,
                          members=list(receiver_hosts), metrics=registry)
-    for host_name in receiver_hosts:
-        session._register_receiver(
-            _make_receiver(net, session, host_name, cfg.reliable,
-                           cfg.echo_timestamps, cfg.filter_w, cfg.estimator)
+    if cfg.aggregate:
+        from .aggregate import AggregateManager, AggregateParams
+
+        rx_defaults = {
+            "group": group,
+            "tsi": tsi,
+            "source_addr": sender_host,
+            "reliable": cfg.reliable,
+            "echo_timestamps": cfg.echo_timestamps,
+            "estimator": cfg.estimator,
+            "telemetry": registry,
+        }
+        if cfg.filter_w is not None:
+            rx_defaults["filter_w"] = cfg.filter_w
+        session.aggregate = AggregateManager(
+            net, session, plan,
+            AggregateParams(**(cfg.aggregate_params or {})),
+            rx_defaults,
         )
+        session.aggregate.setup()
+    else:
+        for host_name in receiver_hosts:
+            session._register_receiver(
+                _make_receiver(net, session, host_name, cfg.reliable,
+                               cfg.echo_timestamps, cfg.filter_w,
+                               cfg.estimator)
+            )
     if cfg.check_invariants:
         session.invariants = InvariantChecker(
             session, strict=cfg.strict_invariants
@@ -400,6 +455,8 @@ def create_session(
             receiver_lookup=_receiver_lookup,
         )
     bind_session_metrics(session, registry, cfg.telemetry_interval)
+    if session.aggregate is not None:
+        session.aggregate.bind_metrics(registry)
     if cfg.start_at <= 0:
         # Schedule rather than call so construction order never matters.
         net.sim.schedule(0.0, sender.start)
@@ -499,7 +556,8 @@ def enable_network_elements(
     if telemetry is not None:
         for name, element in elements.items():
             for key in ("naks_seen", "naks_forwarded", "naks_suppressed",
-                        "rdata_selective", "rdata_flooded", "ncfs_sent"):
+                        "naks_aggregated", "rdata_selective",
+                        "rdata_flooded", "ncfs_sent"):
                 telemetry.bind(f"ne.{name}.{key}",
                                (lambda e=element, k=key: e.metrics()[k]))
     return elements

@@ -18,6 +18,11 @@ Schema ``pgmcc.bench-results/v1``::
          "meta": {...}, "counters": {...}, "gauges": {...},
          "spans": {...}}          # that shipped a session-metrics doc
       ],
+      "scale_metrics": {          # hybrid scale ladder (EXP-SCALE)
+        "1000": {"receivers_per_sec": ..., "bytes_per_receiver": ...,
+                 "peak_rss_mb": ..., "wall_s": ..., "rate": ...,
+                 "invariant_violations": 0}, ...
+      },
       "totals": {...}             # copied from the manifest
     }
 
@@ -56,6 +61,63 @@ def measure_sim_events_per_sec(chain: int = 10_000, repeats: int = 3) -> float:
         if elapsed > 0:
             best = max(best, sim.events_processed / elapsed)
     return best
+
+
+def memory_probe() -> dict[str, int]:
+    """Current and peak process memory plus live-object count.
+
+    Linux-first: current RSS from ``/proc/self/status`` (``VmRSS``),
+    peak from ``getrusage`` (``ru_maxrss`` is KB on Linux).  Keys are
+    bytes.  Used by the hybrid scale cells to report bytes-per-receiver
+    and by the CI scale-smoke budget.
+    """
+    import gc
+    import resource
+
+    rss = 0
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    rss = int(line.split()[1]) * 1024
+                    break
+    except OSError:  # pragma: no cover - non-Linux fallback
+        pass
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    if rss == 0:  # pragma: no cover - non-Linux fallback
+        rss = peak
+    return {
+        "rss_bytes": rss,
+        "peak_rss_bytes": peak,
+        "live_objects": len(gc.get_objects()),
+    }
+
+
+def scale_series_from_manifest(manifest: dict[str, Any]
+                               ) -> dict[str, dict[str, Any]]:
+    """Lift the hybrid scale series out of a manifest.
+
+    Returns ``{"<n>": {receivers_per_sec, bytes_per_receiver,
+    peak_rss_mb, wall_s, rate, invariant_violations}}`` for every
+    ``hyb{n}:*`` metric group found in embedded results (EXP-SCALE's
+    hybrid ladder).  Empty when the run had no hybrid cells.
+    """
+    series: dict[str, dict[str, Any]] = {}
+    wanted = ("receivers_per_sec", "bytes_per_receiver", "peak_rss_mb",
+              "wall_s", "rate", "invariant_violations")
+    for task in manifest.get("tasks", ()):
+        result = task.get("result") or {}
+        # Deterministic protocol metrics live in ``metrics``; measured
+        # wall/RSS values travel in the digest-excluded ``perf`` dict.
+        for source in (result.get("metrics") or {}, result.get("perf") or {}):
+            for key, value in source.items():
+                if not key.startswith("hyb") or ":" not in key:
+                    continue
+                prefix, metric = key.split(":", 1)
+                if metric not in wanted:
+                    continue
+                series.setdefault(prefix[3:], {})[metric] = value
+    return dict(sorted(series.items(), key=lambda kv: int(kv[0])))
 
 
 def session_metrics_from_manifest(manifest: dict[str, Any]
@@ -106,5 +168,9 @@ def bench_results_from_manifest(manifest: dict[str, Any],
              if k in doc}
             for doc in session_metrics_from_manifest(manifest)
         ],
+        # Receivers-per-second / bytes-per-receiver trajectory of the
+        # hybrid scale ladder (empty when EXP-SCALE didn't run).
+        # Additive key: the schema stays at v1 per the API.md rules.
+        "scale_metrics": scale_series_from_manifest(manifest),
         "totals": manifest["totals"],
     }

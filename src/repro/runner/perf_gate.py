@@ -80,6 +80,55 @@ def evaluate(measured: float, baseline: Optional[float],
     }
 
 
+def evaluate_series(
+    measured: dict[str, dict[str, Any]],
+    baseline: dict[str, dict[str, Any]],
+    regression_threshold: float = 0.50,
+    key: str = "receivers_per_sec",
+) -> dict[str, Any]:
+    """Gate a per-cell metric series (the hybrid scale ladder).
+
+    A series entry present in ``measured`` but missing from
+    ``baseline`` — the first run of a new probe — is a **seed
+    baseline**, not a regression: it gets status ``"seed"`` and never
+    fails the gate.  Only cells present in *both* are compared, and a
+    cell regresses when ``measured < baseline * (1 - threshold)``.
+    The default threshold is loose (50 %) because scale cells run real
+    protocol workloads on shared runners, not a microbenchmark.
+    """
+    if regression_threshold <= 0 or regression_threshold >= 1:
+        raise ValueError("regression_threshold must be in (0, 1)")
+    cells: dict[str, dict[str, Any]] = {}
+    status = "ok"
+    reasons = []
+    for cell, metrics in measured.items():
+        value = metrics.get(key)
+        base_entry = baseline.get(cell, {})
+        base = base_entry.get(key)
+        if value is None:
+            continue
+        if base is None:
+            cells[cell] = {"status": "seed", "measured": value,
+                           "baseline": None}
+            continue
+        floor = base * (1.0 - regression_threshold)
+        if value < floor:
+            cells[cell] = {"status": "fail", "measured": value,
+                           "baseline": base, "floor": floor}
+            status = "fail"
+            reasons.append(
+                f"scale cell {cell}: {key} {value:,.0f} regressed more "
+                f"than {regression_threshold:.0%} below the baseline "
+                f"{base:,.0f} (floor {floor:,.0f})"
+            )
+        else:
+            cells[cell] = {"status": "ok", "measured": value,
+                           "baseline": base, "floor": floor}
+    seeded = sum(1 for c in cells.values() if c["status"] == "seed")
+    return {"status": status, "cells": cells, "seeded": seeded,
+            "reasons": reasons}
+
+
 def load_baseline(path: str) -> Optional[float]:
     """``sim_events_per_sec`` from a bench-results artifact (None when
     absent or null — e.g. a sweep ran with the probe disabled)."""
@@ -87,6 +136,16 @@ def load_baseline(path: str) -> Optional[float]:
         doc = json.load(fh)
     value = doc.get("sim_events_per_sec")
     return float(value) if value is not None else None
+
+
+def load_scale_baseline(path: str) -> dict[str, dict[str, Any]]:
+    """``scale_metrics`` from a bench-results artifact.  An artifact
+    that predates the field (or has no hybrid cells) yields ``{}`` —
+    every measured cell then seeds the baseline instead of failing."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    series = doc.get("scale_metrics")
+    return dict(series) if isinstance(series, dict) else {}
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -102,6 +161,14 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="event-chain length per repeat")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of repeats (default 3)")
+    parser.add_argument("--measured", default=None,
+                        help="freshly produced bench-results artifact; "
+                             "its scale_metrics series is gated against "
+                             "the baseline's (missing baseline cells "
+                             "seed, they do not fail)")
+    parser.add_argument("--scale-regression", type=float, default=0.50,
+                        help="fatal fractional drop per scale cell "
+                             "(default 0.50)")
     args = parser.parse_args(argv)
 
     try:
@@ -121,7 +188,32 @@ def main(argv: Optional[list[str]] = None) -> int:
           + f" -> {verdict['status'].upper()}")
     for reason in verdict["reasons"]:
         print(f"perf-gate: {reason}")
-    return 1 if verdict["status"] == "fail" else 0
+
+    series_failed = False
+    if args.measured is not None:
+        try:
+            measured_series = load_scale_baseline(args.measured)
+        except FileNotFoundError:
+            print(f"perf-gate: no measured artifact at {args.measured}; "
+                  "skipping scale-series gate")
+            measured_series = {}
+        try:
+            baseline_series = load_scale_baseline(args.baseline)
+        except FileNotFoundError:
+            baseline_series = {}
+        series = evaluate_series(measured_series, baseline_series,
+                                 regression_threshold=args.scale_regression)
+        for cell, info in series["cells"].items():
+            tag = info["status"].upper()
+            if info["status"] == "seed":
+                tag = "SEED-BASELINE"
+            print(f"perf-gate: scale cell {cell}: "
+                  f"{info['measured']:,.0f} rx/s -> {tag}")
+        for reason in series["reasons"]:
+            print(f"perf-gate: {reason}")
+        series_failed = series["status"] == "fail"
+
+    return 1 if (verdict["status"] == "fail" or series_failed) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry

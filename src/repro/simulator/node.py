@@ -53,6 +53,9 @@ class Node:
         self.multicast_routes: dict[Address, tuple[str, ...]] = {}
         self.packets_forwarded = 0
         self.packets_dropped_no_route = 0
+        #: loop-guard ceiling on ``packet.hops``; rescaled to the
+        #: network size when routes are built (see Router.receive)
+        self.hop_limit = Packet.MAX_HOPS
         # Fault-injection state: ``faulted`` is the single hot-path
         # flag derived from alive/paused (see pause/resume/crash).
         self.alive = True
@@ -232,9 +235,13 @@ class Router(Node):
             packet.release()
             return
         packet.hops += 1
-        if packet.hops > Packet.MAX_HOPS:
+        if packet.hops > self.hop_limit:
             # Forwarding loop safety net; topologies are trees in all
-            # experiments so this should never trigger.
+            # experiments so this should never trigger.  Multicast
+            # fan-out shares one pooled instance across branches, so
+            # ``hops`` counts total router visits, not path depth —
+            # the limit is scaled to the network size in build_routes
+            # (a real loop revisits routers forever and still trips it).
             self.packets_dropped_no_route += 1
             packet.release()
             return

@@ -12,14 +12,14 @@ two-bottleneck tree (Fig. 5) and a star of independent links (Fig. 7).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from .engine import Simulator, make_simulator
 from .link import Link
 from .loss_models import BernoulliLoss, LossModel, NoLoss
 from .node import Host, Node, Router
-from .packet import Address
+from .packet import Address, Packet
 from .queues import DropTailQueue
 from .rng import RngRegistry
 from . import routing
@@ -165,6 +165,15 @@ class Network:
     def build_routes(self) -> None:
         """(Re)compute unicast next hops everywhere."""
         routing.install_unicast_routes(self.graph(), self.nodes)
+        # Multicast fan-out shares one pooled packet instance across
+        # branches, so a packet's hop counter accumulates one visit
+        # per router on the whole tree, not per path.  In a tree each
+        # router is visited at most once, so 2x the node count leaves
+        # headroom while a genuine forwarding loop (unbounded visits)
+        # still trips the guard.
+        hop_limit = max(Packet.MAX_HOPS, 2 * len(self.nodes))
+        for node in self.nodes.values():
+            node.hop_limit = hop_limit
 
     def set_group(self, group: Address, source: str, members: list[str]) -> None:
         """Install the multicast tree for ``group`` rooted at ``source``
@@ -257,6 +266,141 @@ def dumbbell(
         net.duplex_link("R1", f"r{i}", access)
     net.duplex_link("R0", "R1", bottleneck)
     net.build_routes()
+    return net
+
+
+@dataclass(frozen=True)
+class SubtreePlan:
+    """Layout of a :func:`dumbbell_subtrees` network.
+
+    The plan is the *name space* of the group: member identities exist
+    as strings computed on demand (``t{k}r{i}``), never as a
+    million-entry list, so a 10^6-receiver plan costs the same to hold
+    as a 10-receiver one.  ``members="real"`` instantiates one host
+    per member (exact mode, small N); ``members="virtual"`` creates
+    only the per-subtree aggregate host plus a fixed pool of promotion
+    *slot* hosts, and the tail lives as analytic state in
+    :mod:`repro.pgm.aggregate`.
+    """
+
+    n_receivers: int
+    subtrees: int
+    members: str  # "real" | "virtual"
+    slots: int    # promotion slot hosts per subtree (virtual mode)
+    #: members per subtree (n split as evenly as possible)
+    sizes: tuple[int, ...] = field(default=())
+
+    # -- the naming scheme --------------------------------------------------
+
+    def router(self, k: int) -> str:
+        return f"T{k}"
+
+    def routers(self) -> list[str]:
+        return [self.router(k) for k in range(self.subtrees)]
+
+    def identity(self, k: int, i: int) -> str:
+        """Report identity of member ``i`` of subtree ``k`` — equal to
+        its host name in real mode, synthetic in virtual mode."""
+        return f"t{k}r{i}"
+
+    def agg_host(self, k: int) -> str:
+        return f"t{k}agg"
+
+    def slot_host(self, k: int, j: int) -> str:
+        return f"t{k}s{j}"
+
+    def identities(self, k: int):
+        """Member identities of subtree ``k`` (lazy)."""
+        return (self.identity(k, i) for i in range(self.sizes[k]))
+
+    def subtree_of(self, identity: str) -> Optional[int]:
+        """Parse ``t{k}r{i}`` back to its subtree index, or None if the
+        string is not a member identity of this plan."""
+        if not identity.startswith("t") or "r" not in identity:
+            return None
+        head, _, tail = identity[1:].partition("r")
+        if not head.isdigit() or not tail.isdigit():
+            return None
+        k, i = int(head), int(tail)
+        if k >= self.subtrees or i >= self.sizes[k]:
+            return None
+        return k
+
+    def session_hosts(self) -> list[str]:
+        """The hosts a session subscribes to the group.
+
+        Real mode: every member host (O(N)).  Virtual mode: the
+        aggregate host plus the slot pool per subtree (O(K)).
+        """
+        if self.members == "real":
+            return [self.identity(k, i)
+                    for k in range(self.subtrees)
+                    for i in range(self.sizes[k])]
+        hosts = []
+        for k in range(self.subtrees):
+            hosts.append(self.agg_host(k))
+            hosts.extend(self.slot_host(k, j) for j in range(self.slots))
+        return hosts
+
+
+def _split_sizes(n: int, k: int) -> tuple[int, ...]:
+    base, extra = divmod(n, k)
+    return tuple(base + (1 if i < extra else 0) for i in range(k))
+
+
+def dumbbell_subtrees(
+    n_receivers: int,
+    subtrees: int = 1,
+    bottleneck: LinkSpec = NON_LOSSY,
+    access: LinkSpec = ACCESS,
+    seed: int = 0,
+    scheduler: Optional[str] = None,
+    members: str = "virtual",
+    slots: int = 4,
+) -> Network:
+    """``h0 -- R0 ==bottleneck== T{k} -- subtree k's receivers``.
+
+    ``n_receivers`` split across ``subtrees`` shared bottlenecks.  In
+    ``members="real"`` mode every member gets its own host (``t{k}r{i}``,
+    exact simulation, O(N) construction).  In ``members="virtual"``
+    mode each subtree gets one aggregate host (``t{k}agg``) and
+    ``slots`` promotion slot hosts (``t{k}s{j}``) — node count is
+    O(subtrees * slots) regardless of ``n_receivers``, so a
+    million-receiver topology constructs in milliseconds.  The layout
+    is recorded on the returned network as ``net.subtree_plan`` for
+    :func:`repro.pgm.create_session`'s ``aggregate=`` mode.
+    """
+    if n_receivers < 1:
+        raise ValueError("n_receivers must be >= 1")
+    if subtrees < 1 or subtrees > n_receivers:
+        raise ValueError("subtrees must be in [1, n_receivers]")
+    if members not in ("real", "virtual"):
+        raise ValueError(f"members must be 'real' or 'virtual', not {members!r}")
+    plan = SubtreePlan(n_receivers, subtrees, members, slots,
+                       _split_sizes(n_receivers, subtrees))
+    net = Network(seed=seed, scheduler=scheduler)
+    net.add_host("h0")
+    net.add_router("R0")
+    net.duplex_link("h0", "R0", access)
+    for k in range(subtrees):
+        router = plan.router(k)
+        net.add_router(router)
+        net.duplex_link("R0", router, bottleneck)
+        if members == "real":
+            for i in range(plan.sizes[k]):
+                name = plan.identity(k, i)
+                net.add_host(name)
+                net.duplex_link(router, name, access)
+        else:
+            agg = plan.agg_host(k)
+            net.add_host(agg)
+            net.duplex_link(router, agg, access)
+            for j in range(slots):
+                slot = plan.slot_host(k, j)
+                net.add_host(slot)
+                net.duplex_link(router, slot, access)
+    net.build_routes()
+    net.subtree_plan = plan
     return net
 
 

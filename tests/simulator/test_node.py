@@ -107,6 +107,25 @@ class TestRouterForwarding:
         router.receive(packet, from_node="a")
         assert router.packets_dropped_no_route == before + 1
 
+    def test_wide_multicast_fanout_not_dropped_as_loop(self):
+        # Multicast fan-out shares one pooled packet instance across
+        # every branch, so the hop counter accumulates one visit per
+        # branch router — a fan-out wider than MAX_HOPS used to trip
+        # the loop guard on whichever branch happened to be delivered
+        # last, silently starving that subtree of ODATA.
+        from repro.simulator import dumbbell_subtrees
+
+        width = Packet.MAX_HOPS + 16
+        net = dumbbell_subtrees(2 * width, subtrees=width)
+        plan = net.subtree_plan
+        group = f"{MULTICAST_PREFIX}g"
+        net.set_group(group, "h0", plan.session_hosts())
+        net.host("h0").send(Packet("h0", group, 100))
+        net.sim.run(until=1.0)
+        received = [net.host(plan.agg_host(k)).packets_received
+                    for k in range(width)]
+        assert received == [1] * width, received.index(0)
+
     def test_interceptor_consumes(self):
         net, router = self.build()
 

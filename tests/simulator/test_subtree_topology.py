@@ -1,0 +1,101 @@
+"""SubtreePlan / dumbbell_subtrees: the O(K)-node virtual topology.
+
+The scalability tentpole rests on two properties pinned here: the
+plan's identity namespace is computed (never materialised as an O(N)
+list), and virtual mode's node count is independent of ``n_receivers``
+— a million-receiver topology must construct in well under a second.
+"""
+
+import time
+
+import pytest
+
+from repro.simulator import LinkSpec, dumbbell_subtrees
+
+BOTTLENECK = LinkSpec(rate_bps=1_000_000, delay=0.02)
+
+
+class TestPlanNamespace:
+    def test_sizes_split_evenly(self):
+        plan = dumbbell_subtrees(10, subtrees=3).subtree_plan
+        assert sum(plan.sizes) == 10
+        assert max(plan.sizes) - min(plan.sizes) <= 1
+        assert plan.sizes == (4, 3, 3)
+
+    def test_identity_and_subtree_roundtrip(self):
+        plan = dumbbell_subtrees(12, subtrees=3).subtree_plan
+        for k in range(3):
+            for i in range(plan.sizes[k]):
+                assert plan.subtree_of(plan.identity(k, i)) == k
+
+    @pytest.mark.parametrize("bad", [
+        "h0", "R0", "T0", "t0agg", "t0s1", "tXr1", "t0rX",
+        "t9r0",          # subtree out of range
+        "t0r99",         # member index out of range
+    ])
+    def test_subtree_of_rejects_non_members(self, bad):
+        plan = dumbbell_subtrees(12, subtrees=3).subtree_plan
+        assert plan.subtree_of(bad) is None
+
+    def test_identities_are_lazy(self):
+        plan = dumbbell_subtrees(1_000_000, subtrees=4).subtree_plan
+        gen = plan.identities(0)
+        assert next(gen) == "t0r0"
+
+    def test_session_hosts_virtual_is_o_of_k(self):
+        plan = dumbbell_subtrees(10_000, subtrees=2, slots=3).subtree_plan
+        hosts = plan.session_hosts()
+        assert hosts == ["t0agg", "t0s0", "t0s1", "t0s2",
+                         "t1agg", "t1s0", "t1s1", "t1s2"]
+
+    def test_session_hosts_real_lists_every_member(self):
+        plan = dumbbell_subtrees(6, subtrees=2, members="real").subtree_plan
+        assert plan.session_hosts() == [
+            "t0r0", "t0r1", "t0r2", "t1r0", "t1r1", "t1r2"]
+
+
+class TestTopologyConstruction:
+    def test_virtual_nodes_independent_of_n(self):
+        small = dumbbell_subtrees(100, subtrees=2, slots=4)
+        large = dumbbell_subtrees(100_000, subtrees=2, slots=4)
+        assert len(small.nodes) == len(large.nodes)
+        # h0, R0, and per subtree: router + agg + slots hosts
+        assert len(small.nodes) == 2 + 2 * (1 + 1 + 4)
+
+    def test_virtual_mode_has_no_member_hosts(self):
+        net = dumbbell_subtrees(100, subtrees=2)
+        assert "t0r0" not in net.nodes
+        assert "t0agg" in net.nodes
+        assert "t0s0" in net.nodes
+        assert "T0" in net.nodes
+
+    def test_real_mode_has_member_hosts(self):
+        net = dumbbell_subtrees(4, subtrees=2, members="real")
+        assert "t0r0" in net.nodes and "t1r1" in net.nodes
+        assert "t0agg" not in net.nodes
+
+    def test_links_exist(self):
+        net = dumbbell_subtrees(8, subtrees=2, bottleneck=BOTTLENECK)
+        plan = net.subtree_plan
+        assert net.link("R0", plan.router(0)) is not None
+        assert net.link(plan.router(1), plan.agg_host(1)) is not None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_receivers": 0},
+        {"n_receivers": 2, "subtrees": 0},
+        {"n_receivers": 2, "subtrees": 3},
+        {"n_receivers": 2, "members": "imaginary"},
+    ])
+    def test_invalid_arguments_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            dumbbell_subtrees(**kwargs)
+
+    def test_million_receiver_topology_constructs_fast(self):
+        # The whole point of virtual members: node count is
+        # O(subtrees * slots), so 10^6 receivers build in O(100) nodes.
+        t0 = time.perf_counter()
+        net = dumbbell_subtrees(1_000_000, subtrees=64)
+        elapsed = time.perf_counter() - t0
+        assert net.subtree_plan.n_receivers == 1_000_000
+        assert len(net.nodes) == 2 + 64 * (1 + 1 + 4)
+        assert elapsed < 5.0
