@@ -200,6 +200,62 @@ def rank_controllers(bouts: dict[tuple[str, str], dict]) -> list[dict]:
             for r in rows]
 
 
+def run_cell(scale: float = 1.0, seed: int = 23, n_receivers: int = 4,
+             controller: str = "pgmcc",
+             scenario: str = "clean-tcp") -> ExperimentResult:
+    """One arena bout as a standalone experiment (the sweep cell).
+
+    The sweep DSL expands a ``controller x scenario`` grid into these,
+    so each bout is cached, isolated and retried independently; the
+    full ranked table is then rebuilt by :func:`aggregate_cells`.
+    """
+    duration = 120.0 * scale
+    result = ExperimentResult(
+        name=f"arena-cell-{controller}-{scenario}",
+        params={"scale": scale, "seed": seed, "n_receivers": n_receivers,
+                "controller": controller, "scenario": scenario},
+        expectation="one cell of the EXP-ARENA scenario matrix",
+    )
+    bout = run_bout(controller, scenario, duration, seed=seed,
+                    n_receivers=n_receivers)
+    result.add_row(**bout)
+    for key, value in bout.items():
+        if key not in ("controller", "scenario"):
+            result.metrics[key] = value
+    ratio = bout["fairness_ratio"]
+    if ratio is not None:
+        result.metrics["fairness_score"] = round(fairness_score(ratio), 3)
+        result.metrics["in_envelope"] = in_envelope(ratio)
+    return result
+
+
+def aggregate_cells(cells: list) -> dict:
+    """Sweep aggregation hook: ranked table from expanded arena cells.
+
+    ``cells`` is ``[(axes_dict, ExperimentResult), ...]`` as handed
+    over by :func:`repro.sweep.aggregate.run_custom_aggregate`.  Each
+    cell's first row is the raw bout; controllers with all three
+    scenarios present get a row in the same ranked table
+    :func:`rank_controllers` builds for the monolithic ``run()``.
+    """
+    bouts: dict[tuple[str, str], dict] = {}
+    for _axes, result in cells:
+        bout = result.rows[0]
+        bouts[(bout["controller"], bout["scenario"])] = bout
+    complete = {name for name, _ in bouts
+                if all((name, s) in bouts for s in SCENARIOS)}
+    rows = rank_controllers({key: bout for key, bout in bouts.items()
+                             if key[0] in complete})
+    metrics: dict[str, object] = {}
+    if "pgmcc" in complete:
+        pgmcc_ratio = bouts[("pgmcc", "clean-tcp")]["fairness_ratio"]
+        metrics["pgmcc_in_envelope"] = in_envelope(pgmcc_ratio)
+        metrics["discriminates"] = any(
+            not in_envelope(bouts[(n, "clean-tcp")]["fairness_ratio"])
+            for n in complete if n != "pgmcc")
+    return {"rows": rows, "metrics": metrics}
+
+
 def render_markdown(result: ExperimentResult) -> str:
     """The ranked comparison as a standalone markdown report."""
     lines = [

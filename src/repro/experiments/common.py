@@ -133,6 +133,89 @@ def kbps(bps: float) -> float:
     return round(bps / 1000.0, 1)
 
 
+#: ``ParamSpec.type`` name -> accepted Python types.  ``bool`` is not
+#: an ``int`` here (the common footgun), and sequences accept both the
+#: tuple a spec carries and the list a JSON round-trip produces.
+PARAM_TYPES: dict[str, tuple[type, ...]] = {
+    "int": (int,),
+    "float": (int, float),
+    "str": (str,),
+    "bool": (bool,),
+    "seq": (tuple, list),
+}
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declared experiment parameter: name, type, default, bounds.
+
+    The typed half of an :class:`ExperimentSpec`: the runner and the
+    sweep DSL validate keyword arguments against these *before* a
+    worker starts, so a typo'd axis or an out-of-range value raises a
+    clear ``TypeError``/``ValueError`` up front instead of a traceback
+    from inside a worker process.  Frozen and tuple-valued so the
+    enclosing spec stays hashable.
+    """
+
+    name: str
+    type: str = "float"  #: one of :data:`PARAM_TYPES`
+    default: Any = None
+    #: closed set of allowed values (checked after the type)
+    choices: tuple[Any, ...] = ()
+    #: inclusive numeric bounds (ignored for non-numeric types)
+    low: Any = None
+    high: Any = None
+    help: str = ""
+
+    def __post_init__(self) -> None:
+        if self.type not in PARAM_TYPES:
+            raise ValueError(
+                f"parameter {self.name!r}: unknown type {self.type!r} "
+                f"(one of {', '.join(PARAM_TYPES)})")
+
+    def check(self, value: Any, *, where: str = "") -> None:
+        """Raise ``TypeError``/``ValueError`` unless ``value`` fits."""
+        label = f"{where}{self.name}"
+        accepted = PARAM_TYPES[self.type]
+        if isinstance(value, bool) and self.type in ("int", "float"):
+            raise TypeError(f"{label}: expected {self.type}, got bool")
+        if not isinstance(value, accepted):
+            raise TypeError(
+                f"{label}: expected {self.type}, "
+                f"got {type(value).__name__} ({value!r})")
+        if self.choices and value not in self.choices:
+            raise ValueError(
+                f"{label}: {value!r} is not one of "
+                f"{', '.join(map(repr, self.choices))}")
+        if self.low is not None and value < self.low:
+            raise ValueError(f"{label}: {value!r} is below the minimum "
+                             f"{self.low!r}")
+        if self.high is not None and value > self.high:
+            raise ValueError(f"{label}: {value!r} is above the maximum "
+                             f"{self.high!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe schema row (``pgmcc.param-schema/v1`` entry)."""
+        doc: dict[str, Any] = {"name": self.name, "type": self.type}
+        if self.default is not None:
+            doc["default"] = self.default
+        if self.choices:
+            doc["choices"] = list(self.choices)
+        if self.low is not None:
+            doc["low"] = self.low
+        if self.high is not None:
+            doc["high"] = self.high
+        if self.help:
+            doc["help"] = self.help
+        return doc
+
+
+#: every experiment accepts ``scale`` — declared once, merged into each
+#: spec's schema so sweeps can treat it like any other parameter
+SCALE_PARAM = ParamSpec("scale", "float", default=1.0, low=0.0,
+                        help="fraction of the paper-faithful duration")
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """Spawn-safe descriptor of one experiment in the registry.
@@ -141,6 +224,13 @@ class ExperimentSpec:
     reconstructs the callable from ``module``/``func`` by import.  The
     effective simulated duration of a run is ``scale * scale_factor``
     (some experiments run at half duration in the full report).
+
+    ``params`` is the experiment's declared parameter schema
+    (:class:`ParamSpec` rows).  An empty schema means *undeclared* —
+    anything goes, for back compatibility; a non-empty schema is
+    enforced by :meth:`validate_kwargs` before any worker starts, and
+    is part of the result-cache fingerprint (a schema change
+    invalidates stale cached results).
     """
 
     id: str
@@ -152,6 +242,11 @@ class ExperimentSpec:
     #: spec stays hashable; values must be picklable
     kwargs: tuple[tuple[str, Any], ...] = ()
     description: str = ""
+    #: declared parameter schema (empty = undeclared, permissive)
+    params: tuple[ParamSpec, ...] = ()
+    #: hidden specs are resolvable by id (sweep cells) but excluded
+    #: from the default full-registry report/sweep and the REGISTRY view
+    hidden: bool = False
 
     def resolve(self) -> Callable[..., ExperimentResult]:
         mod = importlib.import_module(self.module)
@@ -159,6 +254,45 @@ class ExperimentSpec:
 
     def call_kwargs(self, scale: float) -> dict[str, Any]:
         return {"scale": scale * self.scale_factor, **dict(self.kwargs)}
+
+    # -- parameter schema --------------------------------------------
+
+    def param(self, name: str) -> ParamSpec | None:
+        if name == "scale":
+            return SCALE_PARAM
+        for spec in self.params:
+            if spec.name == name:
+                return spec
+        return None
+
+    def validate_kwargs(self, kwargs: dict[str, Any]) -> None:
+        """Check ``kwargs`` against the declared schema.
+
+        Raises ``TypeError`` for unknown names or type mismatches and
+        ``ValueError`` for out-of-range/out-of-choices values.  A spec
+        with no declared schema accepts anything (``scale`` is still
+        type-checked — every experiment takes it).
+        """
+        declared = {p.name for p in self.params}
+        for name, value in kwargs.items():
+            spec = self.param(name)
+            if spec is None:
+                if not declared:
+                    continue  # undeclared schema: permissive
+                known = ", ".join(sorted(declared | {"scale"}))
+                raise TypeError(
+                    f"{self.id}: unknown parameter {name!r} "
+                    f"(declared: {known})")
+            spec.check(value, where=f"{self.id}: ")
+
+    def schema_doc(self) -> list[dict[str, Any]]:
+        """The declared schema as JSON-safe rows (``scale`` included),
+        used by ``--list``, the sweep DSL and the cache fingerprint."""
+        return [SCALE_PARAM.to_dict()] + [p.to_dict() for p in self.params]
+
+    def schema_digest(self) -> str:
+        return hashlib.sha256(
+            canonical_json(self.schema_doc()).encode()).hexdigest()
 
     def run(self, scale: float = 1.0) -> ExperimentResult:
         return self.resolve()(**self.call_kwargs(scale))

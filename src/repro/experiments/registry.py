@@ -1,0 +1,178 @@
+"""The experiment registry: ``register_experiment`` and lookups.
+
+Mirrors the controller registry
+(:func:`repro.core.controller.register_controller`): experiments are
+registered process-globally by id, so third-party code can add its own
+entries without editing ``run_all.py``::
+
+    from repro.experiments.registry import register_experiment
+    from repro.experiments.common import ExperimentSpec, ParamSpec
+
+    # plain call with a ready-made spec ...
+    register_experiment(ExperimentSpec(
+        "EXP-MINE", "mypkg.experiments.mine",
+        description="my extension study"))
+
+    # ... or as a decorator on the runner function (the spec's
+    # module/func are filled in from the function itself)
+    @register_experiment("EXP-OTHER", description="another study",
+                         params=(ParamSpec("seed", "int", default=7),))
+    def run(scale=1.0, seed=7): ...
+
+Re-registering an id raises — the registry is process-global and a
+silent overwrite would poison sweep/digest reproducibility.  The
+classic ``run_all.REGISTRY`` remains available as a read-only *view*
+of this registry (report entries only, registration order).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any, Callable, Iterator, Optional
+
+from .common import ExperimentSpec
+
+__all__ = [
+    "RegistryView",
+    "experiment_ids",
+    "get_experiment",
+    "register_experiment",
+    "registered_specs",
+    "resolve_experiment_id",
+    "schema_for_target",
+]
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(spec: ExperimentSpec | str | None = None,
+                        /, **fields: Any):
+    """Register an experiment; also usable as a decorator.
+
+    Three spellings:
+
+    * ``register_experiment(ExperimentSpec(...))`` — plain call;
+    * ``register_experiment("EXP-X", module=..., func=..., ...)`` —
+      keyword construction;
+    * ``@register_experiment("EXP-X", ...)`` above the runner function
+      — ``module``/``func`` come from the function itself and the
+      function is returned unchanged.
+
+    Raises ``ValueError`` on a duplicate id.
+    """
+    if isinstance(spec, ExperimentSpec):
+        _add(spec)
+        return spec
+    if spec is None:
+        raise TypeError("register_experiment needs an ExperimentSpec "
+                        "or an experiment id")
+    exp_id = spec
+
+    if "module" in fields:
+        registered = ExperimentSpec(exp_id, **fields)
+        _add(registered)
+        return registered
+
+    def decorator(fn: Callable) -> Callable:
+        _add(ExperimentSpec(exp_id, module=fn.__module__,
+                            func=fn.__qualname__, **fields))
+        return fn
+
+    return decorator
+
+
+def _add(spec: ExperimentSpec) -> None:
+    existing = _REGISTRY.get(spec.id)
+    if existing is not None:
+        if existing == spec:
+            # idempotent: the exact same spec registered again.  This
+            # happens legitimately when run_all executes both as
+            # __main__ (python -m repro.experiments.run_all) and under
+            # its canonical import name in the same process.
+            return
+        raise ValueError(
+            f"experiment {spec.id!r} is already registered "
+            f"(by {existing.module}); ids are process-global")
+    _REGISTRY[spec.id] = spec
+
+
+def _ensure_builtins() -> None:
+    """Import ``run_all`` so the built-in specs are registered before
+    any lookup — a sweep or cache query may be the process's first
+    touch of the experiment layer."""
+    from . import run_all  # noqa: F401 - import-for-side-effect
+
+    del run_all
+
+
+def registered_specs(include_hidden: bool = False) -> list[ExperimentSpec]:
+    """Registered specs in registration order (report entries only by
+    default; ``include_hidden=True`` adds sweep-cell entries)."""
+    _ensure_builtins()
+    return [s for s in _REGISTRY.values() if include_hidden or not s.hidden]
+
+
+def experiment_ids(include_hidden: bool = False) -> list[str]:
+    return [s.id for s in registered_specs(include_hidden)]
+
+
+def resolve_experiment_id(exp_id: str) -> Optional[str]:
+    """Canonical id for a case-/separator-insensitive spelling
+    (``exp_arena`` == ``exp-arena`` == ``EXP-ARENA``), else None."""
+    _ensure_builtins()
+    canonical = {key.upper().replace("_", "-"): key for key in _REGISTRY}
+    return canonical.get(str(exp_id).upper().replace("_", "-"))
+
+
+def get_experiment(exp_id: str) -> ExperimentSpec:
+    """Spec for an id (normalized spelling accepted).  Raises
+    ``KeyError`` listing the known ids on an unknown one."""
+    resolved = resolve_experiment_id(exp_id)
+    if resolved is None:
+        raise KeyError(
+            f"unknown experiment id(s): {exp_id}; "
+            f"known ids: {', '.join(_REGISTRY)}")
+    return _REGISTRY[resolved]
+
+
+def schema_for_target(target: str) -> Optional[list[dict[str, Any]]]:
+    """Declared parameter schema for a ``module:func`` target string.
+
+    This is how the result cache folds the schema into its fingerprint
+    without knowing about specs: both the orchestrator (which has the
+    spec) and ``ResultCache.fetch_or_run`` (which has only the
+    callable) resolve the same schema for the same target, keeping
+    their cache keys shared.  Returns ``None`` when no registered
+    experiment matches the target or the schema is undeclared.
+    """
+    _ensure_builtins()
+    for spec in _REGISTRY.values():
+        if f"{spec.module}:{spec.func}" == target and spec.params:
+            return spec.schema_doc()
+    return None
+
+
+class RegistryView(Sequence):
+    """Read-only, live sequence view of the registry.
+
+    ``run_all.REGISTRY`` is one of these: iteration, ``len``, indexing
+    and membership work like the frozen tuple it replaces, but entries
+    registered later (third-party experiments) appear without editing
+    ``run_all.py``.  Hidden (sweep-cell) entries are excluded, exactly
+    like the old report tuple.
+    """
+
+    def __getitem__(self, index):
+        return registered_specs()[index]
+
+    def __len__(self) -> int:
+        return len(registered_specs())
+
+    def __iter__(self) -> Iterator[ExperimentSpec]:
+        return iter(registered_specs())
+
+    def __contains__(self, item: object) -> bool:
+        return item in registered_specs()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RegistryView of {len(self)} experiments>"

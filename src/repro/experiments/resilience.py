@@ -245,6 +245,32 @@ def run_bout(controller: str, scenario: str, duration: float,
     return cell
 
 
+def run_cell(scale: float = 1.0, seed: int = 31,
+             controller: str = "pgmcc", scenario: str = "partition",
+             liveness: bool = True) -> ExperimentResult:
+    """One resilience bout as a standalone experiment (the sweep cell).
+
+    Exposes ``liveness`` as a real parameter, so a sweep can state the
+    watchdog's value as a per-axis delta (the monolithic ``run()``
+    hard-codes a single watchdog-off baseline cell).
+    """
+    duration = 60.0 * scale
+    result = ExperimentResult(
+        name=f"resilience-cell-{controller}-{scenario}",
+        params={"scale": scale, "seed": seed, "controller": controller,
+                "scenario": scenario, "liveness": liveness},
+        expectation="one cell of the EXP-RESILIENCE fault matrix",
+    )
+    cell = run_bout(controller, scenario, duration, seed=seed,
+                    liveness=liveness)
+    result.add_row(**cell)
+    for key, value in cell.items():
+        if key not in ("controller", "scenario", "kind", "liveness"):
+            result.metrics[key] = value
+    result.metrics["recovered"] = cell["ttr_s"] is not None
+    return result
+
+
 def render_markdown(result: ExperimentResult) -> str:
     """The recovery matrix as a standalone markdown report."""
     lines = [

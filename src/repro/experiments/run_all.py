@@ -1,30 +1,43 @@
-"""Run every experiment and print the full report.
+"""The built-in experiment registry + the legacy sequential CLI.
 
 Usage::
 
-    python -m repro.experiments.run_all [scale]
+    python -m repro.experiments.run_all [runner flags]
 
-``scale`` defaults to 1.0 (paper-faithful durations; a few minutes of
-wall time).  The output of this module at scale 1.0 is what
-EXPERIMENTS.md records.  A raising experiment no longer aborts the
-rest of the report: its traceback is collected and printed at the end,
-and the exit status is non-zero.
+This module is now a thin delegate to the ``repro.runner`` CLI — one
+flag set for both entry points (``pgmcc-experiments`` accepts exactly
+what ``pgmcc-runner`` accepts).  The historic positional ``[scale]``
+argument still works but is deprecated; use ``--scale``.
 
-For a parallel, cached sweep over the same registry use
-``python -m repro.runner -j auto`` (see ``repro.runner``).
+The experiments themselves are registered with
+:func:`~repro.experiments.registry.register_experiment` below — one
+spec per figure, extension and ablation of the report, each with its
+declared parameter schema.  Third-party experiments register through
+the same API without editing this file; ``REGISTRY`` is a read-only
+live view of the result (report entries, registration order).
+
+For programmatic sequential runs, :func:`main` executes the registry
+in-process with failure isolation and prints the classic report.
 """
 
 from __future__ import annotations
 
 import sys
 
-from .common import ExperimentSpec
+from .common import ExperimentSpec, ParamSpec
+from .registry import (RegistryView, register_experiment,
+                       registered_specs, resolve_experiment_id)
 
-#: The experiment registry: every figure, extension and ablation of the
-#: report, as spawn-safe descriptors (see :class:`ExperimentSpec`).
-#: ``repro.runner`` shards this list across a worker pool; this module
-#: runs it sequentially in-process.
-REGISTRY: tuple[ExperimentSpec, ...] = (
+_SEED = ParamSpec("seed", "int", low=0, help="deterministic RNG seed")
+_CONTROLLERS = ParamSpec(
+    "controllers", "seq",
+    help="subset of registered controller backends (default: all)")
+
+#: Built-in experiments, registered in report order.  A spec is
+#: spawn-safe (module/func strings, no callables); ``repro.runner``
+#: shards the registry across a worker pool, :func:`main` runs it
+#: sequentially in-process.
+_BUILTIN_SPECS: tuple[ExperimentSpec, ...] = (
     ExperimentSpec("EXP-F2", "repro.experiments.fig2_loss_filter",
                    description="Fig. 2: loss-rate filter at receivers"),
     ExperimentSpec("EXP-F3", "repro.experiments.fig3_intra_fairness",
@@ -43,6 +56,9 @@ REGISTRY: tuple[ExperimentSpec, ...] = (
                    description="FEC redundancy ladder vs RDATA repair"),
     ExperimentSpec("EXP-DTZ", "repro.experiments.drop_to_zero", scale_factor=0.5,
                    kwargs=(("group_sizes", (1, 10, 40)),),
+                   params=(ParamSpec("group_sizes", "seq",
+                                     default=(1, 10, 40),
+                                     help="receiver-group sizes to compare"),),
                    description="drop-to-zero: feedback aggregation collapse"),
     ExperimentSpec("ABL-C", "repro.experiments.ablations", "run_switch_bias",
                    scale_factor=0.5, description="ablation: acker switch bias c"),
@@ -77,25 +93,59 @@ REGISTRY: tuple[ExperimentSpec, ...] = (
     ExperimentSpec("EXP-SCALE", "repro.experiments.scalability", scale_factor=0.5,
                    description="scalability: exact ladder to 200, hybrid to 10^6"),
     ExperimentSpec("EXP-ARENA", "repro.experiments.arena", scale_factor=0.5,
+                   params=(_SEED, _CONTROLLERS,
+                           ParamSpec("n_receivers", "int", default=4, low=2)),
                    description="controller arena: pgmcc vs jain/aimd/tfrc"),
     ExperimentSpec("EXP-RESILIENCE", "repro.experiments.resilience",
                    scale_factor=0.5,
+                   params=(_SEED, _CONTROLLERS),
                    description="partition/blackhole/acker-crash recovery "
                                "matrix with TTR SLO"),
+    # -- sweep cells: one matrix cell per task, for the sweep DSL -----
+    # (hidden: excluded from the default report, addressable by id)
+    ExperimentSpec("EXP-ARENA-CELL", "repro.experiments.arena", "run_cell",
+                   hidden=True,
+                   params=(ParamSpec("seed", "int", default=23, low=0),
+                           ParamSpec("n_receivers", "int", default=4, low=2),
+                           ParamSpec("controller", "str", default="pgmcc"),
+                           ParamSpec("scenario", "str", default="clean-tcp",
+                                     choices=("clean-tcp", "fault",
+                                              "adversary"))),
+                   description="one arena bout: controller x scenario"),
+    ExperimentSpec("EXP-RESILIENCE-CELL", "repro.experiments.resilience",
+                   "run_cell", hidden=True,
+                   params=(ParamSpec("seed", "int", default=31, low=0),
+                           ParamSpec("controller", "str", default="pgmcc"),
+                           ParamSpec("scenario", "str", default="partition",
+                                     choices=("partition", "blackhole",
+                                              "acker-crash")),
+                           ParamSpec("liveness", "bool", default=True)),
+                   description="one recovery bout: controller x fault "
+                               "x watchdog on/off"),
 )
+
+for _spec in _BUILTIN_SPECS:
+    register_experiment(_spec)
+
+#: Backward-compatible registry view: iterates the *live* registry
+#: (report entries, registration order), so third-party
+#: ``register_experiment`` calls show up here without edits.
+REGISTRY = RegistryView()
 
 #: Backward-compatible view: ``[(exp_id, fn(scale) -> result), ...]``.
 RUNS = [(spec.id, spec.run) for spec in REGISTRY]
 
 
 def specs_by_id(ids=None) -> list[ExperimentSpec]:
-    """Resolve a subset of experiment ids (all when ``ids`` is falsy).
+    """Resolve a subset of experiment ids (all *report* entries when
+    ``ids`` is falsy; hidden sweep-cell specs resolve by explicit id).
 
     Raises ``KeyError`` with the list of known ids on an unknown id.
     """
     if not ids:
         return list(REGISTRY)
     by_id = {spec.id: spec for spec in REGISTRY}
+    by_id.update({s.id: s for s in registered_specs(include_hidden=True)})
     # Ids are normalized case- and separator-insensitively, so the
     # shell-friendly spellings work: exp_arena == exp-arena == EXP-ARENA.
     canonical = {key.upper().replace("_", "-"): key for key in by_id}
@@ -141,11 +191,37 @@ def main(scale: float = 1.0) -> int:
     return len(failed)
 
 
-def main_cli() -> None:
-    """Console-script entry point (``pgmcc-experiments [scale]``)."""
-    failures = main(float(sys.argv[1]) if len(sys.argv) > 1 else 1.0)
-    if failures:
-        sys.exit(1)
+def main_cli(argv: list[str] | None = None) -> None:
+    """Console-script entry point (``pgmcc-experiments``).
+
+    A thin delegate to the ``repro.runner`` CLI: both entry points now
+    share one flag set (``--scale``, ``-j``, ``--no-cache``, ...).  The
+    historic positional ``[scale]`` argument is mapped to ``--scale``
+    with a deprecation warning.
+    """
+    import warnings
+
+    from ..runner.cli import main as runner_main
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    mapped: list[str] = []
+    for arg in argv:
+        is_scale = False
+        if resolve_experiment_id(arg) is None and arg != "run":
+            try:
+                float(arg)
+                is_scale = True
+            except ValueError:
+                pass
+        if is_scale:
+            message = ("the positional [scale] argument is deprecated; "
+                       f"use --scale {arg}")
+            warnings.warn(message, DeprecationWarning, stacklevel=2)
+            print(f"warning: {message}", file=sys.stderr)
+            mapped += ["--scale", arg]
+        else:
+            mapped.append(arg)
+    sys.exit(runner_main(mapped))
 
 
 if __name__ == "__main__":

@@ -21,7 +21,9 @@ from typing import Any, Callable, Iterable
 from ..experiments.common import ExperimentResult, canonical_json
 
 #: bump when the cache entry layout or key derivation changes
-CACHE_SCHEMA = "pgmcc.result-cache/v1"
+#: (v2: the experiment's declared parameter schema joined the key, so
+#: a schema change invalidates stale cached results)
+CACHE_SCHEMA = "pgmcc.result-cache/v2"
 
 DEFAULT_CACHE_DIR = Path("results") / "cache"
 
@@ -76,12 +78,38 @@ def source_fingerprint(roots: Iterable[os.PathLike | str] | None = None,
     return digest
 
 
-def task_digest(experiment: str, kwargs: dict[str, Any], source: str) -> str:
-    """Cache key: experiment identity + full kwargs + source fingerprint."""
+#: sentinel: "resolve the parameter schema from the experiment registry"
+_REGISTRY_SCHEMA = object()
+
+
+def _schema_for(experiment: str) -> Any:
+    """Declared parameter schema for a ``module:func`` target (None
+    when unregistered/undeclared).  Kept here so every cache-key
+    producer — the orchestrator, ``fetch_or_run``, the sweep DSL —
+    derives the identical key for the identical target."""
+    from ..experiments.registry import schema_for_target
+
+    return schema_for_target(experiment)
+
+
+def task_digest(experiment: str, kwargs: dict[str, Any], source: str,
+                param_schema: Any = _REGISTRY_SCHEMA) -> str:
+    """Cache key: experiment identity + full kwargs + declared
+    parameter schema + source fingerprint.
+
+    ``param_schema`` defaults to a registry lookup by the
+    ``module:func`` target; pass an explicit schema doc (or None) to
+    pin it.  A schema edit therefore changes the key and makes stale
+    cached results unreachable even if the source fingerprint is
+    excluded for that path.
+    """
+    if param_schema is _REGISTRY_SCHEMA:
+        param_schema = _schema_for(experiment)
     payload = {
         "schema": CACHE_SCHEMA,
         "experiment": experiment,
         "kwargs": kwargs,
+        "param_schema": param_schema,
         "source": source,
     }
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
@@ -105,8 +133,10 @@ class ResultCache:
     def source_digest(self) -> str:
         return source_fingerprint(self._source_roots, self._exclude)
 
-    def digest_for(self, experiment: str, kwargs: dict[str, Any]) -> str:
-        return task_digest(experiment, kwargs, self.source_digest())
+    def digest_for(self, experiment: str, kwargs: dict[str, Any],
+                   param_schema: Any = _REGISTRY_SCHEMA) -> str:
+        return task_digest(experiment, kwargs, self.source_digest(),
+                           param_schema)
 
     def _path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"

@@ -21,7 +21,7 @@ import sys
 import time
 from pathlib import Path
 
-from ..experiments.run_all import REGISTRY, specs_by_id
+from ..experiments.run_all import specs_by_id
 from .bench import (
     bench_results_from_manifest,
     measure_sim_events_per_sec,
@@ -75,13 +75,38 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _format_param(doc: dict) -> str:
+    """One ``--list`` schema line from a ParamSpec doc."""
+    text = f"{doc['name']}: {doc['type']}"
+    if "default" in doc:
+        text += f" = {doc['default']}"
+    constraints = []
+    if "choices" in doc:
+        constraints.append("one of " + ", ".join(map(str, doc["choices"])))
+    if "low" in doc:
+        constraints.append(f">= {doc['low']}")
+    if "high" in doc:
+        constraints.append(f"<= {doc['high']}")
+    if constraints:
+        text += f"  ({'; '.join(constraints)})"
+    if doc.get("help"):
+        text += f"  -- {doc['help']}"
+    return text
+
+
 def list_registry(file=None) -> None:
+    from ..experiments.registry import registered_specs
+
     out = file or sys.stdout
-    width = max(len(spec.id) for spec in REGISTRY)
-    for spec in REGISTRY:
+    specs = registered_specs(include_hidden=True)
+    width = max(len(spec.id) for spec in specs)
+    for spec in specs:
         target = f"{spec.module.rsplit('.', 1)[-1]}.{spec.func}"
+        tag = " [sweep-cell]" if spec.hidden else ""
         print(f"{spec.id:<{width}}  x{spec.scale_factor:<4g} "
-              f"{target:<28} {spec.description}", file=out)
+              f"{target:<28} {spec.description}{tag}", file=out)
+        for doc in spec.schema_doc():
+            print(f"{'':<{width}}    {_format_param(doc)}", file=out)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -19,7 +19,10 @@ from typing import Any
 from ..experiments.common import canonical_json
 from .tasks import TaskOutcome
 
-MANIFEST_SCHEMA = "pgmcc.run-manifest/v1"
+#: v2: additive — an optional top-level ``sweep`` block (the declarative
+#: spec a sweep run expanded from, plus each task's axis assignment);
+#: every v1 key is unchanged and non-sweep manifests omit the block.
+MANIFEST_SCHEMA = "pgmcc.run-manifest/v2"
 
 
 def results_digest(outcomes: list[TaskOutcome]) -> str:
@@ -30,12 +33,13 @@ def results_digest(outcomes: list[TaskOutcome]) -> str:
 
 def build_manifest(outcomes: list[TaskOutcome], *, run_id: str, scale: float,
                    jobs: int, cache_enabled: bool, source_digest: str,
-                   wall_s: float) -> dict[str, Any]:
+                   wall_s: float,
+                   sweep: dict[str, Any] | None = None) -> dict[str, Any]:
     ok = sum(1 for o in outcomes if o.status == "ok")
     failed = sum(1 for o in outcomes if o.status == "failed")
     hits = sum(1 for o in outcomes if o.cache_hit)
     serial = sum(o.wall_s for o in outcomes)
-    return {
+    manifest = {
         "schema": MANIFEST_SCHEMA,
         "run_id": run_id,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -56,6 +60,9 @@ def build_manifest(outcomes: list[TaskOutcome], *, run_id: str, scale: float,
         },
         "results_digest": results_digest(outcomes),
     }
+    if sweep is not None:
+        manifest["sweep"] = sweep
+    return manifest
 
 
 def save_manifest(manifest: dict[str, Any], path: os.PathLike | str) -> Path:

@@ -100,11 +100,23 @@ class Orchestrator:
 
     # -- public API --------------------------------------------------
 
-    def run(self, run_id: str | None = None) -> dict[str, Any]:
-        """Execute every task; returns the run manifest (a dict)."""
+    def run(self, run_id: str | None = None,
+            sweep: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Execute every task; returns the run manifest (a dict).
+
+        ``sweep`` is an optional manifest block describing the
+        declarative spec this task list was expanded from (attached
+        verbatim by ``repro.sweep``)."""
         started = time.perf_counter()
         by_index: dict[int, TaskOutcome] = {}
         todo: list[_Pending] = []
+
+        # Validate every task against its declared parameter schema
+        # *before* anything runs: a typo'd kwarg or out-of-range value
+        # is a configuration error, reported as a clear TypeError /
+        # ValueError up front rather than a traceback from mid-worker.
+        for spec in self.specs:
+            spec.validate_kwargs(spec.call_kwargs(self.scale))
 
         for index, spec in enumerate(self.specs):
             self._emit("queued", spec.id)
@@ -112,7 +124,8 @@ class Orchestrator:
             digest = None
             if self.cache is not None:
                 digest = self.cache.digest_for(
-                    f"{spec.module}:{spec.func}", kwargs)
+                    f"{spec.module}:{spec.func}", kwargs,
+                    param_schema=spec.schema_doc() if spec.params else None)
                 t0 = time.perf_counter()
                 cached = self.cache.get(digest)
                 if cached is not None:
@@ -137,7 +150,7 @@ class Orchestrator:
             run_id=run_id or time.strftime("run-%Y%m%d-%H%M%S"),
             scale=self.scale, jobs=self.jobs,
             cache_enabled=self.cache is not None,
-            source_digest=source, wall_s=wall)
+            source_digest=source, wall_s=wall, sweep=sweep)
 
     # -- execution strategies ----------------------------------------
 

@@ -1,0 +1,53 @@
+"""Declarative sweep/ablation DSL over the experiment orchestrator.
+
+A sweep is plain data — a :class:`SweepSpec` built in Python, from a
+dict, or loaded from a TOML/JSON file — naming one registered
+experiment, the parameter axes to vary, and an expansion mode
+(``grid`` / ``zip`` / ``ablate``).  Expansion produces ordinary
+orchestrator tasks (cached, isolated, retried); aggregation produces
+per-axis deltas, a ranked table, optional experiment-specific tables,
+and a regression verdict that reuses the perf gate's machinery.
+
+Library use::
+
+    from repro.sweep import sweep
+    run = sweep("examples/sweeps/arena_matrix.toml", jobs=4, scale=0.05)
+    print(run.report["ranked"])
+
+CLI use::
+
+    python -m repro.sweep run examples/sweeps/arena_matrix.toml -j auto
+"""
+
+from .aggregate import SweepCell, axis_deltas, ranked_rows
+from .expand import SweepTask, expand
+from .report import (
+    SWEEP_REPORT_SCHEMA,
+    build_report,
+    render_markdown,
+    report_digest,
+)
+from .run import SweepRun, sweep
+from .spec import AblationSpec, SweepSpec, load_spec, spec_from_dict
+from .validate import SweepValidationError, spec_errors, validate_spec
+
+__all__ = [
+    "AblationSpec",
+    "SWEEP_REPORT_SCHEMA",
+    "SweepCell",
+    "SweepRun",
+    "SweepSpec",
+    "SweepTask",
+    "SweepValidationError",
+    "axis_deltas",
+    "build_report",
+    "expand",
+    "load_spec",
+    "ranked_rows",
+    "render_markdown",
+    "report_digest",
+    "spec_errors",
+    "spec_from_dict",
+    "sweep",
+    "validate_spec",
+]

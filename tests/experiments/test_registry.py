@@ -1,0 +1,246 @@
+"""The experiment registration API and typed parameter schemas."""
+
+import pytest
+
+from repro.experiments import run_all
+from repro.experiments.common import ExperimentSpec, ParamSpec
+from repro.experiments.registry import (
+    _REGISTRY,
+    RegistryView,
+    get_experiment,
+    register_experiment,
+    registered_specs,
+    resolve_experiment_id,
+    schema_for_target,
+)
+
+
+@pytest.fixture
+def scratch_registry(monkeypatch):
+    """Run a test against a private copy of the process-global registry."""
+    monkeypatch.setattr("repro.experiments.registry._REGISTRY",
+                        dict(_REGISTRY))
+
+
+class TestRegisterExperiment:
+    def test_plain_spec_call(self, scratch_registry):
+        spec = register_experiment(ExperimentSpec(
+            "EXP-TEST-PLAIN", "tests.runner._toy", "run_ok",
+            description="registered via plain call"))
+        assert get_experiment("EXP-TEST-PLAIN") is spec
+        assert spec in list(run_all.REGISTRY)  # live view sees it
+
+    def test_keyword_construction(self, scratch_registry):
+        spec = register_experiment(
+            "EXP-TEST-KW", module="tests.runner._toy", func="run_ok",
+            description="registered via keywords")
+        assert get_experiment("EXP-TEST-KW") is spec
+
+    def test_decorator_fills_module_and_func(self, scratch_registry):
+        @register_experiment("EXP-TEST-DECO", description="decorated")
+        def my_runner(scale=1.0):  # pragma: no cover - never run
+            raise AssertionError
+
+        spec = get_experiment("EXP-TEST-DECO")
+        assert spec.module == my_runner.__module__
+        assert spec.func == my_runner.__qualname__
+
+    def test_duplicate_id_raises(self, scratch_registry):
+        with pytest.raises(ValueError, match="already registered"):
+            register_experiment(ExperimentSpec(
+                "EXP-F2", "elsewhere", description="imposter"))
+
+    def test_identical_reregistration_is_noop(self, scratch_registry):
+        # run_all's module body executes twice in one process when
+        # invoked as `python -m repro.experiments.run_all` (once as
+        # __main__, once under its canonical import name); the exact
+        # same spec must register idempotently
+        spec = get_experiment("EXP-F2")
+        assert register_experiment(spec) is spec
+        assert get_experiment("EXP-F2") is spec
+
+    def test_spec_or_id_required(self):
+        with pytest.raises(TypeError):
+            register_experiment()
+
+
+class TestLookups:
+    def test_spelling_normalization(self):
+        assert resolve_experiment_id("exp_arena") == "EXP-ARENA"
+        assert resolve_experiment_id("exp-arena-cell") == "EXP-ARENA-CELL"
+        assert resolve_experiment_id("EXP-NOPE") is None
+
+    def test_get_unknown_raises_with_known_ids(self):
+        with pytest.raises(KeyError, match="EXP-F2"):
+            get_experiment("EXP-NOPE")
+
+    def test_hidden_specs_excluded_from_view_but_resolvable(self):
+        ids = [s.id for s in run_all.REGISTRY]
+        assert "EXP-ARENA" in ids
+        assert "EXP-ARENA-CELL" not in ids
+        assert "EXP-ARENA-CELL" in [
+            s.id for s in registered_specs(include_hidden=True)]
+        assert get_experiment("EXP-ARENA-CELL").hidden
+
+    def test_specs_by_id_resolves_hidden_by_explicit_id(self):
+        [spec] = run_all.specs_by_id(["exp_resilience_cell"])
+        assert spec.id == "EXP-RESILIENCE-CELL"
+        assert all(not s.hidden for s in run_all.specs_by_id(None))
+
+    def test_registry_view_is_sequence_like(self):
+        view = RegistryView()
+        assert len(view) == len(registered_specs())
+        assert view[0].id == "EXP-F2"
+        assert view[0] in view
+
+    def test_schema_for_target(self):
+        schema = schema_for_target("repro.experiments.arena:run_cell")
+        names = [row["name"] for row in schema]
+        assert names[0] == "scale"  # implicit, always first
+        assert "controller" in names and "scenario" in names
+        # experiments with no declared params resolve to None
+        assert schema_for_target(
+            "repro.experiments.fig2_loss_filter:run") is None
+        assert schema_for_target("no.such:target") is None
+
+
+class TestParamSpec:
+    def test_type_check(self):
+        p = ParamSpec("n", "int", low=0, high=10)
+        p.check(5)
+        with pytest.raises(TypeError, match="expected int"):
+            p.check(5.0)
+        with pytest.raises(TypeError, match="expected int"):
+            p.check(True)  # bool is not an int here
+        with pytest.raises(ValueError, match="below the minimum"):
+            p.check(-1)
+        with pytest.raises(ValueError, match="above the maximum"):
+            p.check(11)
+
+    def test_float_accepts_int(self):
+        ParamSpec("x", "float", low=0.0).check(3)
+
+    def test_choices(self):
+        p = ParamSpec("mode", "str", choices=("a", "b"))
+        p.check("a")
+        with pytest.raises(ValueError, match="one of"):
+            p.check("z")
+
+    def test_seq_type(self):
+        p = ParamSpec("sizes", "seq")
+        p.check((1, 2))
+        p.check([1, 2])
+        with pytest.raises(TypeError):
+            p.check(3)
+
+    def test_unknown_type_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            ParamSpec("x", "complex")
+
+
+class TestValidateKwargs:
+    SPEC = ExperimentSpec(
+        "EXP-VK", "m", params=(
+            ParamSpec("seed", "int", default=0, low=0),
+            ParamSpec("mode", "str", choices=("a", "b")),
+        ))
+
+    def test_ok(self):
+        self.SPEC.validate_kwargs({"scale": 0.5, "seed": 3, "mode": "a"})
+
+    def test_unknown_name_lists_declared(self):
+        with pytest.raises(TypeError, match="mode, scale, seed"):
+            self.SPEC.validate_kwargs({"sede": 3})
+
+    def test_bad_value_raises(self):
+        with pytest.raises(ValueError, match="EXP-VK"):
+            self.SPEC.validate_kwargs({"seed": -1})
+
+    def test_scale_always_checked(self):
+        undeclared = ExperimentSpec("EXP-UD", "m")
+        undeclared.validate_kwargs({"anything": object()})  # permissive
+        with pytest.raises(TypeError):
+            undeclared.validate_kwargs({"scale": "fast"})
+
+    def test_orchestrator_validates_before_running(self):
+        from repro.runner.orchestrator import Orchestrator
+
+        bad = ExperimentSpec(
+            "EXP-BAD-KW", "tests.runner._toy", "run_ok",
+            kwargs=(("seed", -3),),
+            params=(ParamSpec("seed", "int", low=0),))
+        with pytest.raises(ValueError, match="EXP-BAD-KW"):
+            Orchestrator([bad], jobs=1, inline=True).run()
+
+    def test_schema_in_cache_fingerprint(self):
+        from repro.runner.cache import task_digest
+
+        base = task_digest("m:f", {"scale": 1.0}, source="s",
+                           param_schema=None)
+        schema = self.SPEC.schema_doc()
+        with_schema = task_digest("m:f", {"scale": 1.0}, source="s",
+                                  param_schema=schema)
+        assert base != with_schema
+        # a schema edit invalidates the key
+        other = ExperimentSpec(
+            "EXP-VK2", "m", params=(
+                ParamSpec("seed", "int", default=1, low=0),
+                ParamSpec("mode", "str", choices=("a", "b")),
+            ))
+        assert task_digest("m:f", {"scale": 1.0}, source="s",
+                           param_schema=other.schema_doc()) != with_schema
+
+
+class TestRunAllCliDelegation:
+    def test_positional_scale_maps_with_deprecation(self, monkeypatch,
+                                                    capsys):
+        captured = {}
+
+        def fake_runner_main(argv):
+            captured["argv"] = argv
+            return 0
+
+        monkeypatch.setattr("repro.runner.cli.main", fake_runner_main)
+        with pytest.warns(DeprecationWarning, match="--scale"):
+            with pytest.raises(SystemExit) as exit_info:
+                run_all.main_cli(["0.25", "EXP-F2"])
+        assert exit_info.value.code == 0
+        assert captured["argv"] == ["--scale", "0.25", "EXP-F2"]
+        assert "deprecated" in capsys.readouterr().err
+
+    def test_runner_flags_pass_through(self, monkeypatch):
+        captured = {}
+        monkeypatch.setattr(
+            "repro.runner.cli.main",
+            lambda argv: captured.setdefault("argv", argv) and 0 or 0)
+        with pytest.raises(SystemExit):
+            run_all.main_cli(["--list"])
+        assert captured["argv"] == ["--list"]
+
+    def test_module_invocation_survives_double_import(self):
+        # the real `python -m` path: run_all executes as __main__ AND
+        # is imported canonically by the runner CLI it delegates to —
+        # built-in registration must not trip the duplicate-id error
+        import os
+        import subprocess
+        import sys
+
+        from tests.runner.test_orchestrator import REPO_ROOT
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.run_all", "--list"],
+            capture_output=True, text=True, timeout=120, cwd=REPO_ROOT,
+            env={**os.environ,
+                 "PYTHONPATH": os.path.join(REPO_ROOT, "src")})
+        assert proc.returncode == 0, proc.stderr
+        assert "EXP-F2" in proc.stdout
+
+    def test_list_prints_schemas_and_cell_tags(self, capsys):
+        from repro.runner.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-ARENA-CELL" in out
+        assert "[sweep-cell]" in out
+        assert "scale: float = 1.0" in out
+        assert "one of clean-tcp, fault, adversary" in out

@@ -41,7 +41,8 @@ class TestSweep:
                    "--quiet", "--no-report"])
         assert rc == 0
         manifest = json.loads(open(paths["manifest"]).read())
-        assert manifest["schema"] == "pgmcc.run-manifest/v1"
+        assert manifest["schema"] == "pgmcc.run-manifest/v2"
+        assert "sweep" not in manifest  # only sweep runs carry the block
         assert manifest["totals"]["ok"] == 1
         assert manifest["tasks"][0]["id"] == "EXP-F2"
         assert manifest["tasks"][0]["result"]["name"] == "fig2-loss-filter"

@@ -206,7 +206,7 @@ class TestTelemetry:
 
     def test_manifest_schema_fields(self):
         manifest = orchestrate(GRID, jobs=1).run(run_id="rid")
-        assert manifest["schema"] == "pgmcc.run-manifest/v1"
+        assert manifest["schema"] == "pgmcc.run-manifest/v2"
         assert manifest["run_id"] == "rid"
         for task in manifest["tasks"]:
             assert {"id", "status", "attempts", "wall_s", "worker",

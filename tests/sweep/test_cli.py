@@ -1,0 +1,135 @@
+"""The ``python -m repro.sweep`` CLI: subcommands, artifacts, exits."""
+
+import json
+
+import pytest
+
+from repro.sweep.cli import main
+
+SPEC_DOC = {
+    "name": "cli-toy",
+    "experiment": "EXP-RESILIENCE-CELL",
+    "scale": 0.05,
+    "axes": {"liveness": [True, False]},
+    "base": {"scenario": "partition", "seed": 31},
+    "report": {"rank_by": "ttr_s", "metrics": ["ttr_s",
+                                               "goodput_retained"]},
+}
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC_DOC))
+    return str(path)
+
+
+class TestValidate:
+    def test_valid_spec_exit_zero(self, spec_path, capsys):
+        assert main(["validate", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert "2 task(s)" in out
+
+    def test_invalid_spec_exit_two_lists_problems(self, tmp_path, capsys):
+        doc = dict(SPEC_DOC, axes={"liveness": [True], "typo": [1]},
+                   mode="zip")
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc))
+        assert main(["validate", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "problem(s)" in err
+        assert "typo" in err
+
+    def test_unreadable_spec_exit_two(self, tmp_path, capsys):
+        assert main(["validate", str(tmp_path / "absent.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_spec_key_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(dict(SPEC_DOC, axis={})))
+        assert main(["validate", str(path)]) == 2
+        assert "unknown sweep-spec key" in capsys.readouterr().err
+
+
+class TestExpand:
+    def test_prints_matrix_without_running(self, spec_path, capsys):
+        assert main(["expand", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "cli-toy/liveness=True" in out
+        assert "cli-toy/liveness=False" in out
+        assert "scenario='partition'" in out
+        assert "2 task(s)" in out
+
+
+class TestRun:
+    def test_run_writes_all_artifacts(self, spec_path, tmp_path, capsys):
+        manifest_path = tmp_path / "manifest.json"
+        json_path = tmp_path / "report.json"
+        md_path = tmp_path / "report.md"
+        rc = main(["run", spec_path, "-j", "2", "--quiet",
+                   "--cache-dir", str(tmp_path / "cache"),
+                   "--manifest", str(manifest_path),
+                   "--json", str(json_path),
+                   "--report", str(md_path),
+                   "--baseline", str(tmp_path / "absent.json")])
+        assert rc == 0
+
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["schema"] == "pgmcc.run-manifest/v2"
+        assert manifest["sweep"]["spec"]["name"] == "cli-toy"
+        assert manifest["totals"]["ok"] == 2
+
+        report = json.loads(json_path.read_text())
+        assert report["schema"] == "pgmcc.sweep-report/v1"
+        assert report["totals"]["ok"] == 2
+        assert "regression" not in report  # baseline file absent
+
+        text = md_path.read_text()
+        assert "# Sweep report: cli-toy" in text
+        assert "## Ranked by `ttr_s`" in text
+
+        out = capsys.readouterr().out
+        assert "2/2 ok" in out
+        assert report["report_digest"] in out
+
+    def test_digest_stable_j1_j2_cached(self, spec_path, tmp_path, capsys):
+        digests = []
+        cache = str(tmp_path / "cache")
+        for jobs in ("1", "2", "1"):
+            path = tmp_path / f"r{len(digests)}.json"
+            rc = main(["run", spec_path, "-j", jobs, "--quiet",
+                       "--cache-dir", cache, "--json", str(path),
+                       "--baseline", str(tmp_path / "absent.json")])
+            assert rc == 0
+            digests.append(
+                json.loads(path.read_text())["report_digest"])
+        capsys.readouterr()
+        assert len(set(digests)) == 1
+        # third run was fully cached
+        last = json.loads((tmp_path / "r2.json").read_text())
+        assert last["run"]["cache_hits"] == 2
+
+    def test_regression_gate_verdicts(self, spec_path, tmp_path, capsys):
+        # seed-vs-fail behavior flows straight from perf_gate: a
+        # baseline without matching history seeds (exit 0); a baseline
+        # whose scale series dwarfs the measurement fails (exit 1) --
+        # this toy sweep produces no scale series, so only the engine
+        # verdict could fail, and without --probe there is none.
+        baseline = tmp_path / "BENCH_RESULTS.json"
+        baseline.write_text(json.dumps({"sim_events_per_sec": None,
+                                        "scale_metrics": {}}))
+        rc = main(["run", spec_path, "--quiet",
+                   "--cache-dir", str(tmp_path / "cache"),
+                   "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "regression vs" in out
+        assert "OK" in out
+
+    def test_invalid_spec_run_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(dict(SPEC_DOC,
+                                        axes={"liveness": ["typo"]})))
+        assert main(["run", str(path)]) == 2
+        assert "problem(s)" in capsys.readouterr().err

@@ -46,7 +46,7 @@ DOC_FILES = (
 DOC_DIRS = ("docs",)
 
 #: files whose ```python fences must execute
-EXAMPLE_FILES = ("docs/CONTROLLERS.md",)
+EXAMPLE_FILES = ("docs/CONTROLLERS.md", "docs/SWEEPS.md")
 
 _HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 _FENCE_RE = re.compile(r"^(```+|~~~+)\s*(\S*)\s*$")
@@ -177,17 +177,24 @@ def run_doc_examples(root: Path = ROOT,
 
     Fences share one namespace per file (so later examples may build
     on earlier imports); a fence containing ``>>>`` runs under
-    :mod:`doctest` instead.  The controller registry is snapshotted
-    and restored around the run, because the walkthrough registers a
-    demo backend and the registry is process-global.
+    :mod:`doctest` instead.  The controller and experiment registries
+    are snapshotted and restored around the run, because the
+    walkthroughs register demo backends/experiments and both
+    registries are process-global.
     """
     src = str(root / "src")
     if src not in sys.path:
         sys.path.insert(0, src)
     from repro.core import controller as controller_mod
+    from repro.experiments import registry as experiment_mod
 
     errors: list[str] = []
     saved_registry = dict(controller_mod._REGISTRY)
+    # force the lazy built-in registration first: it happens once per
+    # process, so restoring a pre-registration (empty) snapshot would
+    # wipe the built-ins for good
+    experiment_mod._ensure_builtins()
+    saved_experiments = dict(experiment_mod._REGISTRY)
     try:
         for name in files:
             path = root / name
@@ -215,6 +222,8 @@ def run_doc_examples(root: Path = ROOT,
     finally:
         controller_mod._REGISTRY.clear()
         controller_mod._REGISTRY.update(saved_registry)
+        experiment_mod._REGISTRY.clear()
+        experiment_mod._REGISTRY.update(saved_experiments)
     return errors
 
 
